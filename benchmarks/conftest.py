@@ -1,0 +1,32 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+reduced workload scale (full-scale regeneration is done by
+``python -m repro.experiments.<name>``).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated rows/series alongside the timings.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=0.4,
+        help="workload scale factor for the benchmark runs",
+    )
+
+
+@pytest.fixture
+def scale(request):
+    """Workload scale for benchmark runs."""
+    return request.config.getoption("--repro-scale")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

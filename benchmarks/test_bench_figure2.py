@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figure 2 (RC execution times, all protocols).
+
+One benchmark per application; each prints the stacked execution-time
+decomposition and the relative-time table, and asserts the figure's
+headline shape for that application.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import figure2
+
+
+def _regenerate(app, scale):
+    data = figure2.run(scale=scale, apps=(app,))
+    print()
+    print(figure2.render(data))
+    return data[app]
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_mp3d(benchmark, scale):
+    results = once(benchmark, lambda: _regenerate("mp3d", scale))
+    base = results["BASIC"].execution_time
+    # P+CW is the best RC combination for MP3D
+    assert results["P+CW"].execution_time < base
+    # CW+M wipes out CW's gain (§5.1)
+    assert results["CW+M"].execution_time > results["CW"].execution_time
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_cholesky(benchmark, scale):
+    results = once(benchmark, lambda: _regenerate("cholesky", scale))
+    base = results["BASIC"].execution_time
+    assert results["P"].execution_time < base
+    assert results["P+CW"].execution_time < results["CW"].execution_time
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_water(benchmark, scale):
+    results = once(benchmark, lambda: _regenerate("water", scale))
+    assert results["P+CW"].execution_time < results["BASIC"].execution_time
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_lu(benchmark, scale):
+    results = once(benchmark, lambda: _regenerate("lu", scale))
+    # M does nothing for LU; P does a lot
+    assert results["M"].execution_time == pytest.approx(
+        results["BASIC"].execution_time, rel=0.02
+    )
+    assert results["P"].execution_time < results["BASIC"].execution_time
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_ocean(benchmark, scale):
+    results = once(benchmark, lambda: _regenerate("ocean", scale))
+    # CW removes almost all of Ocean's coherence misses
+    assert results["P+CW"].execution_time < results["BASIC"].execution_time

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 4 (network traffic per protocol)."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import figure4
+from repro.workloads import APP_NAMES
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_all_apps(benchmark, scale):
+    data = once(benchmark, lambda: figure4.run(scale=scale, apps=APP_NAMES))
+    print()
+    print(figure4.render(data))
+    for app in APP_NAMES:
+        assert data[app]["BASIC"] == pytest.approx(100.0)
+        # prefetching adds traffic everywhere
+        assert data[app]["P"] > 100.0, app
+    # the migratory optimization cuts traffic for the migratory apps
+    for app in ("mp3d", "cholesky", "water"):
+        assert data[app]["M"] < 100.0, app
+    # and P+M stays leaner than P alone for them (freed bandwidth)
+    for app in ("mp3d", "cholesky"):
+        assert data[app]["P+M"] < data[app]["P"], app

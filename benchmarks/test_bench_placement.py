@@ -1,0 +1,21 @@
+"""Benchmark: page-placement study (extension)."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import placement
+
+
+@pytest.mark.benchmark(group="placement")
+def test_placement_study(benchmark, scale):
+    data = once(
+        benchmark, lambda: placement.run(scale=scale, apps=("lu", "ocean"))
+    )
+    print()
+    print(placement.render(data))
+    for app in ("lu", "ocean"):
+        for proto in placement.PROTOCOLS:
+            rr = data[app][(proto, "round_robin")]
+            ft = data[app][(proto, "first_touch")]
+            # the policies differ, but neither catastrophically
+            assert 0.5 < ft / rr < 1.6, (app, proto)

@@ -1,0 +1,22 @@
+"""Benchmark: machine-size scaling study (extension)."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_mp3d(benchmark, scale):
+    data = once(benchmark, lambda: scaling.run(app="mp3d", scale=scale))
+    print()
+    print(scaling.render(data, app="mp3d"))
+    # the sharing-driven extensions (CW, M) gain ground as the machine
+    # grows: their 16-processor relative time does not regress vs the
+    # 4-processor one by more than noise
+    for proto in ("CW", "M"):
+        rel4 = data[4][proto][1]
+        rel16 = data[16][proto][1]
+        assert rel16 <= rel4 + 0.08, proto
+    # the baseline's absolute time grows with contention
+    assert data[16]["BASIC"][0] > 0

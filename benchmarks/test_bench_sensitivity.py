@@ -1,0 +1,37 @@
+"""Benchmark: regenerate the §5.4 sensitivity studies."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import sensitivity
+
+APPS = ("mp3d", "lu")
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_small_buffers(benchmark, scale):
+    data = once(benchmark, lambda: sensitivity.run_buffers(scale=scale, apps=APPS))
+    print()
+    print(sensitivity.render_buffers(data))
+    for app in APPS:
+        # §5.4: M and CW need less buffering than BASIC
+        basic_slowdown = data[app]["BASIC"]
+        for proto in ("CW", "M"):
+            assert data[app][proto] <= basic_slowdown * 1.10, (app, proto)
+        # combinations including them suffer at most mildly
+        for proto in ("P+CW", "P+M"):
+            assert data[app][proto] <= max(basic_slowdown * 1.10, 1.20), (
+                app, proto,
+            )
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_limited_slc(benchmark, scale):
+    data = once(
+        benchmark, lambda: sensitivity.run_limited_slc(scale=scale, apps=APPS)
+    )
+    print()
+    print(sensitivity.render_limited_slc(data))
+    for app in APPS:
+        # the combinations that win with infinite caches still win
+        assert data[app]["P+CW"][0] < 1.0, app

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 1 (hardware-cost inventory).
+
+Static, but kept in the harness so ``pytest benchmarks/`` regenerates
+every table and figure of the paper in one command.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_inventory(benchmark):
+    rows = once(benchmark, table1.run)
+    print()
+    print(table1.render(rows))
+    by_name = {r.protocol: r for r in rows}
+    assert by_name["BASIC"].slc_state_bits_per_line == 2
+    assert by_name["BASIC"].memory_state_bits_per_line == 19  # N+3
+    assert by_name["M"].memory_state_bits_per_line == 24

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (cold/coherence miss components)."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import table2
+from repro.workloads import APP_NAMES
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_all_apps(benchmark, scale):
+    data = once(benchmark, lambda: table2.run(scale=scale, apps=APP_NAMES))
+    print()
+    print(table2.render(data))
+    # the composition property behind Figure 2's additive gains:
+    # P+CW's cold rate tracks P's for every application
+    for app, (cold_err, _coh_err) in table2.composition_errors(data).items():
+        p_cold = data[app]["P"][0]
+        assert cold_err <= max(0.5, 0.25 * p_cold), app
+    # P cuts the cold miss rate of the direct solvers by > 2x
+    for app in ("lu", "cholesky"):
+        assert data[app]["P"][0] < data[app]["BASIC"][0] / 2

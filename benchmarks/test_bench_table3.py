@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 3 (mesh link-width sensitivity)."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_all_apps(benchmark, scale):
+    data = once(benchmark, lambda: table3.run(scale=scale))
+    print()
+    print(table3.render(data))
+    # narrowing the links always raises pressure (BASIC utilization)
+    for app, util in data["utilization"].items():
+        assert util[16] > util[64], app
+    # P+M's advantage survives narrow links for the migratory apps
+    for app in ("cholesky", "mp3d"):
+        assert data["P+M"][app][16] < 1.05, app
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_pcw_degrades_on_narrow_links(benchmark, scale):
+    data = once(benchmark, lambda: table3.run(scale=scale, apps=("cholesky", "lu")))
+    print()
+    print(table3.render(data))
+    # §5.3: P+CW's gains shrink as links narrow
+    for app in ("cholesky", "lu"):
+        assert data["P+CW"][app][16] >= data["P+CW"][app][64] - 0.02, app

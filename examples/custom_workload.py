@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Bring your own workload: a producer-consumer pipeline.
+
+Shows the workload API: build per-processor reference streams with
+StreamBuilder, lay data out with AddressSpace, then measure which
+protocol extension suits *your* sharing pattern.
+
+The example implements a software pipeline: each processor repeatedly
+writes a batch of items into its output queue and reads its upstream
+neighbour's queue -- classic producer-consumer sharing.  A
+write-invalidate protocol ping-pongs on the queue blocks; the
+competitive-update mechanism keeps the consumer's copies alive.
+
+Run:  python examples/custom_workload.py [--rounds 40]
+"""
+
+import argparse
+
+from repro import System, SystemConfig
+from repro.experiments.formats import render_table
+from repro.mem.addrmap import AddressMap, AddressSpace
+from repro.workloads.base import BLOCK, StreamBuilder
+
+
+def build_pipeline(cfg: SystemConfig, rounds: int, queue_blocks: int = 8):
+    """One stream per processor: produce locally, consume upstream."""
+    amap = AddressMap(
+        block_size=cfg.cache.block_size,
+        page_size=cfg.cache.page_size,
+        n_nodes=cfg.n_procs,
+    )
+    space = AddressSpace(amap)
+    queues = [
+        space.alloc_page_aligned(f"queue{p}", queue_blocks * BLOCK)
+        for p in range(cfg.n_procs)
+    ]
+    streams = []
+    for pid in range(cfg.n_procs):
+        sb = StreamBuilder(seed=pid)
+        upstream = queues[(pid - 1) % cfg.n_procs]
+        mine = queues[pid]
+        for r in range(rounds):
+            # produce: write a batch of items into the local queue
+            for b in range(queue_blocks):
+                sb.write(mine + b * BLOCK + (r % 8) * 4)
+                sb.think(6)
+            # consume: read the upstream neighbour's batch
+            for b in range(queue_blocks):
+                sb.read(upstream + b * BLOCK)
+                sb.think(6)
+            sb.barrier(r)
+        streams.append(sb.ops)
+    return streams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=40)
+    args = parser.parse_args()
+
+    rows = []
+    base_time = None
+    for proto in ("BASIC", "P", "CW", "P+CW"):
+        cfg = SystemConfig().with_protocol(proto)
+        stats = System(cfg).run(build_pipeline(cfg, args.rounds))
+        if base_time is None:
+            base_time = stats.execution_time
+        rows.append(
+            (
+                proto,
+                stats.execution_time / base_time,
+                stats.miss_rate("coherence"),
+                f"{stats.network.bytes / 1024:,.0f} KiB",
+            )
+        )
+    print(render_table(
+        ("protocol", "rel. time", "coherence %", "traffic"),
+        rows,
+        title=f"producer-consumer pipeline, {args.rounds} rounds x 16 procs",
+    ))
+    print("\nCW keeps the consumers' copies alive: the producer's flushes")
+    print("update them instead of invalidating, so coherence misses drop.")
+
+
+if __name__ == "__main__":
+    main()

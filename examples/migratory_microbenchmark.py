@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Migratory-sharing microbenchmark: the ``x := x + 1`` pattern (§3.2).
+
+Sixteen processors take turns incrementing a set of shared counters
+inside critical sections -- the purest form of migratory sharing.  The
+example contrasts BASIC and M under both consistency models and prints
+the mechanics: ownership requests issued, migratory detections at the
+home nodes, and where the time went.
+
+Under SC, M removes the write stall (the read miss already returned an
+exclusive copy).  Under RC the write stall is hidden anyway, but M
+still shortens the critical sections (the release has no pending
+ownership request to wait for), which shows up as acquire stall.
+
+Run:  python examples/migratory_microbenchmark.py [--counters 8]
+"""
+
+import argparse
+
+from repro import Consistency, System, SystemConfig
+from repro.experiments.formats import render_table
+from repro.mem.addrmap import AddressMap, AddressSpace
+from repro.workloads.base import BLOCK, StreamBuilder
+
+
+def build_counters(cfg: SystemConfig, n_counters: int, rounds: int):
+    amap = AddressMap(n_nodes=cfg.n_procs)
+    space = AddressSpace(amap)
+    counters = space.alloc_page_aligned("counters", n_counters * BLOCK)
+    locks = space.alloc_page_aligned("locks", n_counters * 256)
+    streams = []
+    for pid in range(cfg.n_procs):
+        sb = StreamBuilder(seed=pid)
+        for r in range(rounds):
+            idx = (pid + r) % n_counters
+            sb.acquire(locks + idx * 256)
+            sb.rmw(counters + idx * BLOCK, think=4)  # x := x + 1
+            sb.release(locks + idx * 256)
+            sb.think(60)
+        sb.barrier(0)
+        streams.append(sb.ops)
+    return streams
+
+
+def run(protocol: str, consistency: Consistency, n_counters: int, rounds: int):
+    cfg = SystemConfig(consistency=consistency).with_protocol(protocol)
+    system = System(cfg)
+    stats = system.run(build_counters(cfg, n_counters, rounds))
+    return system, stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--counters", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=24)
+    args = parser.parse_args()
+
+    rows = []
+    for consistency in (Consistency.SC, Consistency.RC):
+        base_time = None
+        for proto in ("BASIC", "M"):
+            system, stats = run(proto, consistency, args.counters, args.rounds)
+            if base_time is None:
+                base_time = stats.execution_time
+            own = sum(c.ownership_requests for c in stats.caches)
+            det = sum(n.home.migratory_detections for n in system.nodes)
+            rows.append(
+                (
+                    f"{proto} / {consistency.value}",
+                    stats.execution_time / base_time,
+                    int(stats.mean_write_stall),
+                    int(stats.mean_acquire_stall),
+                    own,
+                    det,
+                )
+            )
+    print(render_table(
+        ("design", "rel. time", "write stall", "acquire stall",
+         "ownership reqs", "migratory detections"),
+        rows,
+        title=(
+            f"{args.counters} shared counters, {args.rounds} "
+            "lock-protected increments per processor"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Miss-rate timelines: direct vs iterative methods (paper §3.1).
+
+"Contrary to common belief, the cold miss rate does not necessarily
+decline with time ... This is true in general for direct
+(non-iterative) solution methods in linear algebra, exemplified by LU
+and Cholesky."  This example samples the machine every few thousand
+cycles and plots ASCII timelines of the cold miss rate: LU's stays up
+for the whole factorization (new panels keep being touched), while
+Ocean's collapses after the first sweep (iterative reuse) -- which is
+precisely why prefetching pays off so much for the direct solvers.
+
+Run:  python examples/miss_rate_timeline.py [--scale 1.0]
+"""
+
+import argparse
+
+from repro import System, SystemConfig
+from repro.stats.epochs import EpochSampler, sparkline
+from repro.workloads import build_workload
+
+
+def timeline(app: str, scale: float, interval: int = 4000):
+    cfg = SystemConfig()  # BASIC: no prefetching masking the cold misses
+    system = System(cfg)
+    sampler = EpochSampler.attach(system, interval=interval)
+    system.run(build_workload(app, cfg, scale=scale))
+    return sampler.epochs()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    for app, label in (
+        ("lu", "LU      (direct)   "),
+        ("cholesky", "Cholesky (direct)  "),
+        ("ocean", "Ocean   (iterative)"),
+    ):
+        epochs = timeline(app, args.scale)
+        cold = [e.cold_miss_rate for e in epochs]
+        half = len(cold) // 2 or 1
+        first, second = cold[:half], cold[half:]
+        avg = lambda xs: sum(xs) / len(xs) if xs else 0.0
+        print(f"{label} cold-miss rate over time "
+              f"(first half {avg(first):4.1f} %, second half {avg(second):4.1f} %)")
+        print(f"  |{sparkline(cold)}|")
+        print()
+    print("scale: each column is one sampling epoch; height = cold-miss")
+    print("rate within that epoch, normalized to the app's own peak.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Network planning: pick a protocol for your link budget (§5.3).
+
+Suppose you are sizing the mesh of a new machine: wide links are
+expensive, narrow links may drown the extra traffic of aggressive
+protocol extensions.  This example sweeps mesh link widths for a
+workload and reports, per width, the best protocol and the peak link
+utilization -- reproducing the paper's conclusion that P+CW wants
+bandwidth while P+M tolerates narrow links.
+
+Run:  python examples/network_planning.py --app mp3d --scale 0.6
+"""
+
+import argparse
+
+from repro import System, SystemConfig
+from repro.config import NetworkConfig, NetworkKind
+from repro.experiments.formats import render_table
+from repro.workloads import APP_NAMES, build_workload
+
+PROTOCOLS = ("BASIC", "P+CW", "P+M")
+WIDTHS = (64, 32, 16, 8)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=APP_NAMES, default="mp3d")
+    parser.add_argument("--scale", type=float, default=0.6)
+    args = parser.parse_args()
+
+    rows = []
+    for width in WIDTHS:
+        net = NetworkConfig(kind=NetworkKind.MESH, link_width_bits=width)
+        times = {}
+        peak_util = 0.0
+        for proto in PROTOCOLS:
+            cfg = SystemConfig(network=net).with_protocol(proto)
+            system = System(cfg)
+            stats = system.run(build_workload(args.app, cfg, scale=args.scale))
+            times[proto] = stats.execution_time
+            peak_util = max(
+                peak_util,
+                system.network.max_link_utilization(stats.execution_time),
+            )
+        best = min(times, key=times.get)
+        rows.append(
+            (
+                f"{width}-bit",
+                times["P+CW"] / times["BASIC"],
+                times["P+M"] / times["BASIC"],
+                f"{100 * peak_util:.0f} %",
+                best,
+            )
+        )
+    print(render_table(
+        ("links", "P+CW / BASIC", "P+M / BASIC", "peak link util", "winner"),
+        rows,
+        title=f"[{args.app}] protocol choice vs mesh link width",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Protocol shoot-out: all eight protocol combinations on one workload.
+
+Runs BASIC, P, CW, M and every combination on a chosen application and
+renders the Figure 2-style stacked execution-time decomposition, plus
+a winners table with miss rates and traffic, so you can see *why* each
+combination wins or loses.
+
+Run:  python examples/protocol_shootout.py --app cholesky --scale 0.7
+"""
+
+import argparse
+
+from repro import ALL_PROTOCOLS, System, SystemConfig
+from repro.experiments.formats import decomposition, render_stacked_bars, render_table
+from repro.workloads import APP_NAMES, build_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=APP_NAMES, default="cholesky")
+    parser.add_argument("--scale", type=float, default=0.7)
+    args = parser.parse_args()
+
+    results = {}
+    for proto in ALL_PROTOCOLS:
+        cfg = SystemConfig().with_protocol(proto)
+        streams = build_workload(args.app, cfg, scale=args.scale)
+        results[proto] = System(cfg).run(streams)
+        print(f"simulated {proto:8s} "
+              f"(exec {results[proto].execution_time:,} pclocks)")
+
+    base = results["BASIC"].execution_time
+    bars = [(proto, decomposition(st)) for proto, st in results.items()]
+    print()
+    print(render_stacked_bars(bars, reference=base,
+                              title=f"[{args.app}] relative execution time"))
+    print()
+    rows = []
+    for proto, st in sorted(results.items(), key=lambda kv: kv[1].execution_time):
+        rows.append(
+            (
+                proto,
+                st.execution_time / base,
+                st.miss_rate("cold"),
+                st.miss_rate("coherence"),
+                st.network.bytes / results["BASIC"].network.bytes,
+            )
+        )
+    print(render_table(
+        ("protocol", "rel. time", "cold %", "coh %", "rel. traffic"),
+        rows,
+        title="ranking (best first)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

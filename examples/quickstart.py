@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate MP3D under BASIC and under P+CW.
+
+Builds the paper's 16-node CC-NUMA machine twice -- once with the
+plain directory-based write-invalidate protocol (BASIC), once with
+adaptive sequential prefetching plus the competitive-update mechanism
+(P+CW) -- runs the MP3D-like workload on both and prints the paper's
+execution-time decomposition side by side.
+
+Run:  python examples/quickstart.py [--app mp3d] [--scale 1.0]
+"""
+
+import argparse
+
+from repro import System, SystemConfig
+from repro.workloads import APP_NAMES, build_workload
+
+
+def simulate(app: str, protocol: str, scale: float):
+    cfg = SystemConfig().with_protocol(protocol)
+    streams = build_workload(app, cfg, scale=scale)
+    stats = System(cfg).run(streams)
+    return stats
+
+
+def describe(name: str, stats) -> None:
+    et = stats.execution_time
+    print(f"\n[{name}]")
+    print(f"  execution time   : {et:,} pclocks "
+          f"({et * 10 / 1e6:.2f} ms at 100 MHz)")
+    print(f"  busy             : {100 * stats.mean_busy / et:5.1f} %")
+    print(f"  read stall       : {100 * stats.mean_read_stall / et:5.1f} %")
+    print(f"  write stall      : {100 * stats.mean_write_stall / et:5.1f} %")
+    print(f"  acquire stall    : {100 * stats.mean_acquire_stall / et:5.1f} %")
+    print(f"  cold misses      : {stats.miss_rate('cold'):5.2f} % of refs")
+    print(f"  coherence misses : {stats.miss_rate('coherence'):5.2f} % of refs")
+    print(f"  network traffic  : {stats.network.bytes / 1024:,.0f} KiB")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=APP_NAMES, default="mp3d")
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    basic = simulate(args.app, "BASIC", args.scale)
+    combo = simulate(args.app, "P+CW", args.scale)
+
+    describe("BASIC (write-invalidate, release consistency)", basic)
+    describe("P+CW  (prefetching + competitive update)", combo)
+
+    speedup = basic.execution_time / combo.execution_time
+    print(f"\nP+CW speedup over BASIC on {args.app}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

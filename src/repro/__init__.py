@@ -1,0 +1,56 @@
+"""repro -- reproduction of Dahlgren, Dubois & Stenström (ISCA 1994),
+"Combined Performance Gains of Simple Cache Protocol Extensions".
+
+A detailed architectural simulator of a 16-node directory-based
+CC-NUMA multiprocessor with three cache-protocol extensions --
+adaptive sequential prefetching (P), the migratory sharing
+optimization (M) and a competitive-update mechanism with write caches
+(CW) -- evaluated alone and in combination under sequential and
+release consistency, with contention-free and wormhole-mesh networks.
+
+Quickstart::
+
+    from repro import SystemConfig, System
+    from repro.workloads import build_workload
+
+    cfg = SystemConfig().with_protocol("P+CW")
+    streams = build_workload("mp3d", cfg, scale=0.5)
+    stats = System(cfg).run(streams)
+    print(stats.execution_time, stats.miss_rate("coherence"))
+"""
+
+from repro import api
+from repro.config import (
+    ALL_PROTOCOLS,
+    SC_PROTOCOLS,
+    CacheConfig,
+    CompetitiveConfig,
+    Consistency,
+    NetworkConfig,
+    NetworkKind,
+    PrefetchConfig,
+    ProtocolConfig,
+    SystemConfig,
+    TimingConfig,
+)
+from repro.stats.counters import MachineStats
+from repro.system import System, run_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "CacheConfig",
+    "CompetitiveConfig",
+    "Consistency",
+    "MachineStats",
+    "NetworkConfig",
+    "NetworkKind",
+    "PrefetchConfig",
+    "ProtocolConfig",
+    "SC_PROTOCOLS",
+    "System",
+    "SystemConfig",
+    "TimingConfig",
+    "run_system",
+]

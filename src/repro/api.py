@@ -1,0 +1,135 @@
+"""High-level convenience API.
+
+One-call helpers for the common questions a user of the library asks:
+
+>>> from repro import api
+>>> summary = api.run_app("mp3d", protocol="P+CW")
+>>> summary.speedup_over("BASIC")   # needs a comparison; see below
+>>> ranking = api.compare_protocols("mp3d")
+>>> ranking.best().protocol
+'P+CW'
+
+Everything here is a thin, typed wrapper over
+:class:`~repro.system.System` + :mod:`repro.workloads`; use those
+directly for anything the helpers do not expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import (
+    ALL_PROTOCOLS,
+    CacheConfig,
+    Consistency,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.stats.counters import MachineStats
+from repro.system import System
+from repro.workloads import build_workload
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Digest of one simulation."""
+
+    app: str
+    protocol: str
+    consistency: str
+    execution_time: int
+    busy_fraction: float
+    read_stall_fraction: float
+    write_stall_fraction: float
+    acquire_stall_fraction: float
+    cold_miss_rate: float
+    coherence_miss_rate: float
+    network_bytes: int
+    stats: MachineStats
+
+    @classmethod
+    def from_stats(cls, app: str, cfg: SystemConfig,
+                   stats: MachineStats) -> "RunSummary":
+        """Build a summary from raw machine statistics."""
+        et = stats.execution_time or 1
+        return cls(
+            app=app,
+            protocol=cfg.protocol.name,
+            consistency=cfg.consistency.value,
+            execution_time=stats.execution_time,
+            busy_fraction=stats.mean_busy / et,
+            read_stall_fraction=stats.mean_read_stall / et,
+            write_stall_fraction=stats.mean_write_stall / et,
+            acquire_stall_fraction=stats.mean_acquire_stall / et,
+            cold_miss_rate=stats.miss_rate("cold"),
+            coherence_miss_rate=stats.miss_rate("coherence"),
+            network_bytes=stats.network.bytes,
+            stats=stats,
+        )
+
+
+def run_app(
+    app: str,
+    protocol: str = "BASIC",
+    consistency: Consistency = Consistency.RC,
+    scale: float = 1.0,
+    n_procs: int = 16,
+    network: NetworkConfig | None = None,
+    cache: CacheConfig | None = None,
+    seed: int = 1994,
+) -> RunSummary:
+    """Simulate one application on one machine; returns a digest."""
+    cfg = SystemConfig(
+        n_procs=n_procs,
+        consistency=consistency,
+        network=network or NetworkConfig(),
+        cache=cache or CacheConfig(),
+    ).with_protocol(protocol)
+    streams = build_workload(app, cfg, scale=scale, seed=seed)
+    stats = System(cfg).run(streams)
+    return RunSummary.from_stats(app, cfg, stats)
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """Protocols ranked by execution time on one application."""
+
+    app: str
+    summaries: tuple[RunSummary, ...]
+
+    def best(self) -> RunSummary:
+        """The fastest protocol's summary."""
+        return self.summaries[0]
+
+    def relative_time(self, protocol: str) -> float:
+        """Execution time of ``protocol`` relative to BASIC."""
+        base = self["BASIC"].execution_time
+        return self[protocol].execution_time / base
+
+    def __getitem__(self, protocol: str) -> RunSummary:
+        for summary in self.summaries:
+            if summary.protocol == protocol:
+                return summary
+        raise KeyError(protocol)
+
+    def __iter__(self):
+        return iter(self.summaries)
+
+
+def compare_protocols(
+    app: str,
+    protocols: Sequence[str] = ALL_PROTOCOLS,
+    consistency: Consistency = Consistency.RC,
+    scale: float = 1.0,
+    **kw,
+) -> Ranking:
+    """Run several protocols on one application and rank them."""
+    if "BASIC" not in protocols:
+        protocols = ("BASIC", *protocols)
+    summaries = [
+        run_app(app, protocol=p, consistency=consistency, scale=scale, **kw)
+        for p in protocols
+    ]
+    summaries.sort(key=lambda s: s.execution_time)
+    return Ranking(app=app, summaries=tuple(summaries))

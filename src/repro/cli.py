@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run``         -- simulate one (application, protocol) pair and
+  print the execution-time decomposition and miss rates,
+* ``compare``     -- run several protocols on one application and
+  print a ranking table,
+* ``analyze``     -- static sharing-pattern census of a workload,
+* ``trace``       -- dump a workload's reference streams to a trace
+  file (or simulate from an existing trace file),
+* ``experiments`` -- dispatch to the table/figure drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import (
+    ALL_PROTOCOLS,
+    Consistency,
+    NetworkConfig,
+    NetworkKind,
+    SystemConfig,
+)
+from repro.experiments.formats import render_table
+from repro.system import System
+from repro.workloads import ALL_APP_NAMES, build_workload
+
+
+def _make_config(args) -> SystemConfig:
+    network = NetworkConfig()
+    if getattr(args, "mesh", None):
+        network = NetworkConfig(
+            kind=NetworkKind.MESH, link_width_bits=args.mesh
+        )
+    return SystemConfig(
+        n_procs=args.procs,
+        consistency=Consistency(args.consistency),
+        network=network,
+    ).with_protocol(args.protocol)
+
+
+def _summary_rows(stats):
+    et = stats.execution_time
+    return [
+        ("execution time (pclocks)", et),
+        ("busy %", 100 * stats.mean_busy / et),
+        ("read stall %", 100 * stats.mean_read_stall / et),
+        ("write stall %", 100 * stats.mean_write_stall / et),
+        ("acquire stall %", 100 * stats.mean_acquire_stall / et),
+        ("release stall %", 100 * stats.mean_release_stall / et),
+        ("cold miss %", stats.miss_rate("cold")),
+        ("coherence miss %", stats.miss_rate("coherence")),
+        ("replacement miss %", stats.miss_rate("replacement")),
+        ("network bytes", stats.network.bytes),
+    ]
+
+
+def cmd_run(args) -> int:
+    """Simulate one configuration and print the summary."""
+    cfg = _make_config(args)
+    if args.trace_file:
+        from repro.trace import load_streams
+
+        streams = load_streams(args.trace_file)
+    else:
+        streams = build_workload(args.app, cfg, scale=args.scale)
+    stats = System(cfg).run(streams)
+    title = f"{args.app} / {cfg.protocol.name} / {cfg.consistency.value}"
+    print(render_table(("metric", "value"), _summary_rows(stats), title=title))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Rank protocols on one application."""
+    rows = []
+    base = None
+    for proto in args.protocols:
+        ns = argparse.Namespace(**{**vars(args), "protocol": proto})
+        cfg = _make_config(ns)
+        streams = build_workload(args.app, cfg, scale=args.scale)
+        stats = System(cfg).run(streams)
+        if base is None:
+            base = stats.execution_time
+        rows.append(
+            (
+                proto,
+                stats.execution_time / base,
+                stats.miss_rate("cold"),
+                stats.miss_rate("coherence"),
+                stats.network.bytes,
+            )
+        )
+    rows.sort(key=lambda r: r[1])
+    print(render_table(
+        ("protocol", "rel. time", "cold %", "coh %", "net bytes"),
+        rows,
+        title=f"{args.app} ({args.consistency}, scale {args.scale})",
+    ))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Sharing-pattern census of a workload."""
+    from repro.mem.addrmap import AddressMap
+    from repro.stats.sharing import Pattern, analyze
+
+    cfg = SystemConfig(n_procs=args.procs)
+    streams = build_workload(args.app, cfg, scale=args.scale)
+    profile = analyze(streams, AddressMap(n_nodes=cfg.n_procs))
+    census = profile.census()
+    rows = [
+        (
+            pattern.value,
+            census.get(pattern, 0),
+            100 * profile.fraction_of_refs(pattern),
+        )
+        for pattern in Pattern
+    ]
+    print(render_table(
+        ("pattern", "blocks", "% of refs"),
+        rows,
+        title=f"sharing census of {args.app}",
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Dump a workload's reference streams to a trace file."""
+    from repro.trace import save_streams
+
+    cfg = SystemConfig(n_procs=args.procs)
+    streams = build_workload(args.app, cfg, scale=args.scale)
+    save_streams(streams, args.out)
+    total = sum(len(s) for s in streams)
+    print(f"wrote {total} ops for {len(streams)} processors to {args.out}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    """Dispatch to a table/figure driver."""
+    from repro.experiments import (
+        figure2, figure3, figure4, placement, report, scaling,
+        sensitivity, table1, table2, table3,
+    )
+
+    drivers = {
+        "table1": table1,
+        "figure2": figure2,
+        "table2": table2,
+        "figure3": figure3,
+        "table3": table3,
+        "figure4": figure4,
+        "sensitivity": sensitivity,
+        "scaling": scaling,
+        "placement": placement,
+        "report": report,
+    }
+    driver = drivers[args.name]
+    extra = ["--scale", str(args.scale)] if args.name != "table1" else []
+    driver.main(extra)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Simulator for 'Combined Performance Gains of Simple Cache "
+            "Protocol Extensions' (ISCA 1994)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, protocol=True):
+        p.add_argument("--app", choices=ALL_APP_NAMES, default="mp3d")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--procs", type=int, default=16)
+        if protocol:
+            p.add_argument("--protocol", choices=ALL_PROTOCOLS, default="BASIC")
+            p.add_argument(
+                "--consistency", choices=("RC", "SC"), default="RC"
+            )
+            p.add_argument(
+                "--mesh", type=int, metavar="LINK_BITS",
+                help="use a wormhole mesh with this link width",
+            )
+
+    p_run = sub.add_parser("run", help="simulate one configuration")
+    common(p_run)
+    p_run.add_argument(
+        "--trace-file", help="drive the run from a trace file instead"
+    )
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="rank protocols on one app")
+    common(p_cmp)
+    p_cmp.add_argument(
+        "--protocols", nargs="+", default=list(ALL_PROTOCOLS),
+        choices=ALL_PROTOCOLS,
+    )
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_an = sub.add_parser("analyze", help="sharing-pattern census")
+    common(p_an, protocol=False)
+    p_an.set_defaults(fn=cmd_analyze)
+
+    p_tr = sub.add_parser("trace", help="dump reference streams to a file")
+    common(p_tr, protocol=False)
+    p_tr.add_argument("--out", required=True)
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_ex = sub.add_parser("experiments", help="run a table/figure driver")
+    p_ex.add_argument(
+        "name",
+        choices=(
+            "table1", "figure2", "table2", "figure3", "table3",
+            "figure4", "sensitivity", "scaling", "placement", "report",
+        ),
+    )
+    p_ex.add_argument("--scale", type=float, default=1.0)
+    p_ex.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

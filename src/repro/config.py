@@ -1,0 +1,225 @@
+"""Configuration objects for the simulated machine.
+
+All architectural parameters default to the values of paper §4:
+
+* 16 processors at 100 MHz (1 pclock = 10 ns),
+* 4-KB direct-mapped write-through FLC (1-pclock hit, 3-pclock fill),
+* infinite direct-mapped write-back SLC, 32-byte blocks, 6-pclock access,
+* 90-ns interleaved memory behind a 256-bit 33-MHz split-transaction bus
+  (local memory access = 30 pclocks end to end),
+* 54-pclock contention-free uniform network by default,
+* 4-KB pages placed round-robin across nodes,
+* release consistency with a 16-entry SLWB and an 8-entry FLWB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class Consistency(Enum):
+    """Memory consistency model (paper §2, §5.2)."""
+
+    SC = "SC"
+    RC = "RC"
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Latency parameters, in pclocks (10 ns)."""
+
+    flc_hit: int = 1
+    flc_fill: int = 3
+    slc_access: int = 6
+    #: end-to-end latency of one memory/directory access (90 ns = 9
+    #: pclocks raw; 24 including DRAM/controller overhead so that a full
+    #: local access -- bus + memory + bus -- totals the paper's 30 pclocks).
+    memory_latency: int = 24
+    #: the module "is fully interleaved" (§4): this many address-
+    #: interleaved banks serve accesses in parallel; each access
+    #: occupies its bank for the full ``memory_latency``.
+    memory_banks: int = 8
+    #: one bus cycle at 33 MHz = 3 pclocks (256-bit split-transaction
+    #: bus: a transaction occupies ceil(bytes/width) cycles).
+    bus_transaction: int = 3
+    #: bus width in bytes (256 bits).
+    bus_width_bytes: int = 32
+
+    @property
+    def local_memory_access(self) -> int:
+        """End-to-end local memory access (paper: 30 pclocks)."""
+        return self.memory_latency + 2 * self.bus_transaction
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache-hierarchy geometry."""
+
+    block_size: int = 32
+    page_size: int = 4096
+    flc_size: int = 4096
+    #: None = infinite SLC (the paper's default); 16384 for §5.4.
+    slc_size: int | None = None
+    flwb_entries: int = 8
+    slwb_entries: int = 16
+    write_cache_blocks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if self.flc_size % self.block_size:
+            raise ValueError("flc_size must be a multiple of block_size")
+        if self.slc_size is not None and self.slc_size % self.block_size:
+            raise ValueError("slc_size must be a multiple of block_size")
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Adaptive sequential prefetching (paper §3.1, ref [3])."""
+
+    initial_degree: int = 1
+    max_degree: int = 8
+    #: ref [3] compares *fixed* sequential prefetching (constant K)
+    #: against the adaptive scheme; False freezes the degree.
+    adaptive: bool = True
+    #: counters are modulo 16: every 16 issued prefetches the useful
+    #: fraction is compared against the two thresholds below.
+    window: int = 16
+    high_mark: float = 0.55
+    low_mark: float = 0.20
+
+
+@dataclass(frozen=True)
+class CompetitiveConfig:
+    """Competitive update + write cache (paper §3.3, refs [4, 10])."""
+
+    #: updates tolerated with no intervening local access before the
+    #: local copy self-invalidates.  1 with write caches (the paper's
+    #: recommendation); 4 without.
+    threshold: int = 1
+    use_write_cache: bool = True
+    #: let the home grant exclusive ownership to a flusher that is the
+    #: sole remaining sharer.  Saves single-user update traffic but
+    #: re-creates dirty-at-cache blocks, lengthening other processors'
+    #: coherence misses -- off by default, kept for the ablation bench.
+    exclusive_grant: bool = False
+
+    @staticmethod
+    def classic() -> "CompetitiveConfig":
+        """Ref [10]'s protocol: per-write updates, threshold 4, no
+        write cache -- the baseline §3.3 improves on."""
+        return CompetitiveConfig(threshold=4, use_write_cache=False)
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Which extensions are stacked onto the BASIC protocol."""
+
+    prefetch: bool = False
+    migratory: bool = False
+    competitive_update: bool = False
+    prefetch_params: PrefetchConfig = field(default_factory=PrefetchConfig)
+    competitive_params: CompetitiveConfig = field(default_factory=CompetitiveConfig)
+
+    @property
+    def name(self) -> str:
+        """Paper-style protocol name: BASIC, P, M, CW, P+CW, ..."""
+        parts = []
+        if self.prefetch:
+            parts.append("P")
+        if self.competitive_update:
+            parts.append("CW")
+        if self.migratory:
+            parts.append("M")
+        return "+".join(parts) if parts else "BASIC"
+
+    @staticmethod
+    def from_name(name: str) -> "ProtocolConfig":
+        """Parse a paper-style name ('BASIC', 'P+CW', ...)."""
+        if name in {"BASIC", "B-SC", ""}:
+            return ProtocolConfig()
+        parts = set(name.replace("-SC", "").split("+"))
+        unknown = parts - {"P", "M", "CW"}
+        if unknown:
+            raise ValueError(f"unknown protocol extension(s): {sorted(unknown)}")
+        return ProtocolConfig(
+            prefetch="P" in parts,
+            migratory="M" in parts,
+            competitive_update="CW" in parts,
+        )
+
+
+class NetworkKind(Enum):
+    """Interconnect models of §4 and §5.3."""
+
+    UNIFORM = "uniform"
+    MESH = "mesh"
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnect parameters."""
+
+    kind: NetworkKind = NetworkKind.UNIFORM
+    #: contention-free node-to-node latency (uniform network).
+    uniform_latency: int = 54
+    #: wormhole mesh: link width in bits (64 / 32 / 16 in §5.3).
+    link_width_bits: int = 64
+    #: per-hop header latency: two phases, routing + transfer.
+    hop_cycles: int = 2
+    #: message header size in bytes (address + type + routing info).
+    header_bytes: int = 8
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated machine."""
+
+    n_procs: int = 16
+    consistency: Consistency = Consistency.RC
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: page->home policy: "round_robin" (§4's choice) or "first_touch"
+    page_placement: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("need at least one processor")
+        if self.page_placement not in ("round_robin", "first_touch"):
+            raise ValueError(
+                f"unknown page placement {self.page_placement!r}"
+            )
+        if self.consistency is Consistency.SC and self.protocol.competitive_update:
+            raise ValueError(
+                "the competitive-update mechanism requires release consistency "
+                "(paper §5.2: 'We omit CW because it is not feasible under "
+                "sequential consistency')"
+            )
+
+    def with_protocol(self, name: str) -> "SystemConfig":
+        """A copy of this config running the named protocol."""
+        return replace(self, protocol=ProtocolConfig.from_name(name))
+
+    @property
+    def effective_slwb_entries(self) -> int:
+        """SLWB depth (paper §5.2: single entry under SC, except for P)."""
+        if self.consistency is Consistency.SC and not self.protocol.prefetch:
+            return 1
+        return self.cache.slwb_entries
+
+    @property
+    def effective_flwb_entries(self) -> int:
+        """FLWB depth (single entry under SC)."""
+        if self.consistency is Consistency.SC:
+            return 1
+        return self.cache.flwb_entries
+
+
+#: the eight protocols evaluated in the paper, in Figure 2 order.
+ALL_PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M")
+
+#: protocols feasible under sequential consistency (§5.2).
+SC_PROTOCOLS = ("BASIC", "P", "M", "P+M")

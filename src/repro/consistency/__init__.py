@@ -1,0 +1,5 @@
+"""Sequential and release consistency policies."""
+
+from repro.consistency.models import ConsistencyPolicy, protocol_feasible
+
+__all__ = ["ConsistencyPolicy", "protocol_feasible"]

@@ -1,0 +1,60 @@
+"""Memory consistency models (paper §2, §5.1, §5.2).
+
+The implementation of the two models is distributed across the
+processor (stall behaviour) and the cache controller (buffering), but
+their *policies* are centralized here:
+
+* **SC** -- the processor stalls for each shared reference until it is
+  globally performed; single-entry FLWB/SLWB (except that P keeps a
+  multi-entry SLWB for pending prefetches); the competitive-update
+  mechanism is not feasible.
+* **RC** (RCpc) -- writes retire into the FLWB and their latency is
+  hidden by the lockup-free SLC + SLWB; a release is issued only after
+  all previously issued ownership requests (and write-cache flushes)
+  have completed; the processor does not stall on releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Consistency, ProtocolConfig
+
+
+@dataclass(frozen=True)
+class ConsistencyPolicy:
+    """Processor-visible behaviour of one consistency model."""
+
+    model: Consistency
+    blocking_writes: bool
+    blocking_releases: bool
+    write_latency_hidden: bool
+
+    @staticmethod
+    def for_model(model: Consistency) -> "ConsistencyPolicy":
+        """The policy for SC or RC."""
+        if model is Consistency.SC:
+            return ConsistencyPolicy(
+                model=model,
+                blocking_writes=True,
+                blocking_releases=True,
+                write_latency_hidden=False,
+            )
+        return ConsistencyPolicy(
+            model=model,
+            blocking_writes=False,
+            blocking_releases=False,
+            write_latency_hidden=True,
+        )
+
+
+def protocol_feasible(protocol: ProtocolConfig, model: Consistency) -> bool:
+    """Whether a protocol can be implemented under a consistency model.
+
+    §5.2: "We omit CW because it is not feasible under sequential
+    consistency" -- update combining in the write cache requires the
+    freedom to delay write propagation until a synchronization point.
+    """
+    if model is Consistency.SC and protocol.competitive_update:
+        return False
+    return True

@@ -1,0 +1,21 @@
+"""The paper's contribution: BASIC directory protocol + P / M / CW."""
+
+from repro.core.cache_ctrl import CacheController
+from repro.core.directory import Directory, DirectoryEntry, directory_bits_per_block
+from repro.core.home import HomeController
+from repro.core.messages import Message, MsgType
+from repro.core.prefetch import AdaptivePrefetcher
+from repro.core.states import CacheState, MemoryState
+
+__all__ = [
+    "AdaptivePrefetcher",
+    "CacheController",
+    "CacheState",
+    "Directory",
+    "DirectoryEntry",
+    "HomeController",
+    "MemoryState",
+    "Message",
+    "MsgType",
+    "directory_bits_per_block",
+]

@@ -1,0 +1,891 @@
+"""Lockup-free second-level cache controller.
+
+This is the requester side of the protocol: it owns the FLC, the FLWB,
+the SLC, the SLWB, and -- depending on the protocol configuration --
+the write cache (CW) and the adaptive prefetch engine (P).
+
+The controller implements the paper's node behaviour:
+
+* demand reads block the processor (blocking loads, §2); misses
+  allocate an SLWB entry and go to the home node,
+* writes drain from the FLWB into the SLC; writes to shared or invalid
+  blocks either send ownership requests (BASIC/M) or combine in the
+  write cache (CW),
+* prefetches (P) are issued for the K sequential successors of every
+  demand miss, pending in the SLWB,
+* releases and barriers act as RCpc synchronization points: they wait
+  for every ownership request and write-cache flush issued before them,
+* incoming coherence traffic (invalidations, fetches, updates,
+  interrogations) is serviced immediately, so the home never blocks on
+  a cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import SystemConfig
+from repro.core.competitive import CompetitivePolicy
+from repro.core.messages import Message, MsgType
+from repro.core.prefetch import AdaptivePrefetcher
+from repro.core.states import CacheState
+from repro.mem.addrmap import AddressMap
+from repro.mem.flc import FirstLevelCache
+from repro.mem.slc import CacheLine, SecondLevelCache
+from repro.mem.write_buffers import Flwb, FlwbEntry, Slwb, SlwbKind
+from repro.mem.write_cache import WriteCache, WriteCacheEntry
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resource import FcfsResource
+from repro.stats.classify import MissClassifier
+from repro.stats.counters import CacheStats
+
+SendFn = Callable[[Message, int], None]
+DoneFn = Callable[[], None]
+
+
+@dataclass
+class _PendingRead:
+    """An outstanding read (demand or prefetch) for one block."""
+
+    block: int
+    slwb_id: int
+    is_prefetch: bool
+    start: int
+    demand_waiters: list[DoneFn] = field(default_factory=list)
+    merged_prefetch: bool = False
+    invalidated: bool = False
+    deferred: list[Message] = field(default_factory=list)
+
+
+@dataclass
+class _PendingWrite:
+    """An outstanding ownership request (OWN_REQ / RDX_REQ)."""
+
+    block: int
+    slwb_id: int
+    start: int
+    read_waiters: list[DoneFn] = field(default_factory=list)
+    sc_waiter: DoneFn | None = None
+    deferred: list[Message] = field(default_factory=list)
+
+
+@dataclass
+class _SyncMarker:
+    """A release or barrier waiting for prior writes to perform."""
+
+    kind: str                      # 'release' | 'barrier'
+    target: int                    # lock block or barrier id
+    expected: int = 0              # barrier participant count
+    outstanding: int = 0
+    on_done: DoneFn | None = None  # barrier wake / SC release ack
+
+
+class CacheController:
+    """One node's FLC + SLC + write buffers + protocol requester FSM."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        cfg: SystemConfig,
+        amap: AddressMap,
+        slc_res: FcfsResource,
+        send: SendFn,
+        stats: CacheStats,
+        placement=None,
+    ) -> None:
+        self.node_id = node_id
+        self._sim = sim
+        self._cfg = cfg
+        self._timing = cfg.timing
+        self._amap = amap
+        self._slc_res = slc_res
+        self._send = send
+        self.stats = stats
+        #: page->home policy; None falls back to the address map's
+        #: static round-robin placement
+        self._placement = placement
+
+        self.flc = FirstLevelCache(cfg.cache.flc_size, cfg.cache.block_size)
+        self.slc = SecondLevelCache(cfg.cache.slc_size, cfg.cache.block_size)
+        self.flwb = Flwb(cfg.effective_flwb_entries)
+        self.slwb = Slwb(cfg.effective_slwb_entries)
+        self.classifier = MissClassifier()
+
+        proto = cfg.protocol
+        self.wcache: WriteCache | None = (
+            WriteCache(cfg.cache.write_cache_blocks)
+            if proto.competitive_update and proto.competitive_params.use_write_cache
+            else None
+        )
+        self._cw = proto.competitive_update
+        self._comp: CompetitivePolicy | None = (
+            CompetitivePolicy(proto.competitive_params)
+            if proto.competitive_update
+            else None
+        )
+        self.prefetcher: AdaptivePrefetcher | None = (
+            AdaptivePrefetcher(proto.prefetch_params) if proto.prefetch else None
+        )
+
+        self._pending_reads: dict[int, _PendingRead] = {}
+        self._pending_writes: dict[int, _PendingWrite] = {}
+        #: write-cache flushes in flight: block -> FIFO of SLWB ids
+        self._pending_flushes: dict[int, deque[int]] = {}
+        #: flush entries waiting for a free SLWB slot
+        self._flush_queue: deque[tuple[WriteCacheEntry, list[_SyncMarker]]] = deque()
+        #: dirty victims awaiting WB_ACK (still service fetches)
+        self._victims: dict[int, bool] = {}
+        #: SLWB entry -> sync markers it holds back
+        self._eid_markers: dict[int, list[_SyncMarker]] = {}
+        #: demand reads parked until a pending flush of the block acks
+        self._flush_read_waiters: dict[int, list[tuple[DoneFn, int]]] = {}
+        self._slwb_waiters: deque[Callable[[], None]] = deque()
+        self._flwb_space_waiters: deque[Callable[[], None]] = deque()
+        self._barrier_waiters: dict[int, DoneFn] = {}
+        self._lock_waiters: dict[int, deque[DoneFn]] = {}
+        self._release_acks: dict[int, deque[DoneFn]] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # processor-facing API
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, on_done: DoneFn) -> None:
+        """Demand read; ``on_done`` fires when the data is bound."""
+        block = self._amap.block_of(addr)
+        if self.flc.lookup(block):
+            self._sim.after(self._timing.flc_hit, on_done)
+            return
+        if self._flwb_forwards(addr):
+            # store-to-load forwarding: the word sits in the FLWB
+            self.stats.flwb_forwards += 1
+            self._sim.after(self._timing.flc_hit, on_done)
+            return
+        t1 = self._slc_res.finish_time(
+            self._sim.now + self._timing.flc_hit, self._timing.slc_access
+        )
+        self._sim.at(t1, self._slc_read, block, on_done, self._sim.now)
+
+    def _flwb_forwards(self, addr: int) -> bool:
+        """True if a buffered write to the same word can satisfy a read."""
+        return self.flwb.contains_write_to(addr)
+
+    def can_buffer_write(self) -> bool:
+        """True when the FLWB can accept a write without stalling."""
+        return not self.flwb.full
+
+    def buffer_write(self, addr: int) -> None:
+        """RC write path: enqueue in the FLWB and keep going."""
+        self.flwb.push(FlwbEntry(addr=addr, issue_time=self._sim.now))
+        self._pump_drain()
+
+    def when_write_space(self, cb: Callable[[], None]) -> None:
+        """Call ``cb`` when the FLWB has room again (processor stall)."""
+        self._flwb_space_waiters.append(cb)
+
+    def write_blocking(self, addr: int, on_done: DoneFn) -> None:
+        """SC write path: ``on_done`` when globally performed."""
+        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
+        self._sim.at(t1, self._write_blocking_at_slc, addr, on_done)
+
+    def acquire(self, addr: int, on_done: DoneFn) -> None:
+        """Acquire a lock; ``on_done`` on LOCK_GRANT."""
+        block = self._amap.block_of(addr)
+        self._lock_waiters.setdefault(block, deque()).append(on_done)
+        self._send_msg(MsgType.LOCK_REQ, block)
+
+    def release(self, addr: int, on_performed: DoneFn | None = None) -> None:
+        """Release a lock after all earlier writes have performed.
+
+        Under RC the processor continues immediately; pass
+        ``on_performed`` (SC) to learn when the release completes.
+        """
+        block = self._amap.block_of(addr)
+        marker = _SyncMarker(kind="release", target=block, on_done=on_performed)
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=self._sim.now, marker=marker))
+        self._pump_drain()
+
+    def barrier(self, bar_id: int, expected: int, on_done: DoneFn) -> None:
+        """Arrive at a barrier once earlier writes performed; wait wake."""
+        marker = _SyncMarker(
+            kind="barrier", target=bar_id, expected=expected, on_done=on_done
+        )
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=self._sim.now, marker=marker))
+        self._pump_drain()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def _slc_read(self, block: int, on_done: DoneFn, t0: int) -> None:
+        line = self.slc.lookup(block)
+        if line is not None:
+            self._on_local_read_hit(line)
+            self.flc.fill(block)
+            self._sim.after(self._timing.flc_fill, on_done)
+            return
+        if self.wcache is not None and self.wcache.lookup(block) is not None:
+            # read hit in the write cache (§3.3)
+            self._sim.after(self._timing.flc_fill, on_done)
+            return
+        pr = self._pending_reads.get(block)
+        if pr is not None:
+            if pr.is_prefetch and not pr.merged_prefetch:
+                pr.merged_prefetch = True
+                self.stats.late_prefetch_hits += 1
+                if self.prefetcher is not None:
+                    self.prefetcher.on_useful_prefetch()
+            pr.demand_waiters.append(on_done)
+            return
+        pw = self._pending_writes.get(block)
+        if pw is not None:
+            pw.read_waiters.append(on_done)
+            return
+        if self._flush_in_flight(block):
+            # wait for the write-cache flush to settle: its WC_ACK may
+            # grant (or force relinquishing) exclusivity, which must be
+            # ordered before a new read request to the home.
+            self._flush_read_waiters.setdefault(block, []).append((on_done, t0))
+            return
+        self._demand_miss(block, on_done, t0)
+
+    def _flush_in_flight(self, block: int) -> bool:
+        if block in self._pending_flushes:
+            return True
+        return any(entry.block == block for entry, _m in self._flush_queue)
+
+    def _on_local_read_hit(self, line: CacheLine) -> None:
+        if line.prefetched:
+            line.prefetched = False
+            self.stats.useful_prefetches += 1
+            if self.prefetcher is not None:
+                self.prefetcher.on_useful_prefetch()
+        if self._comp is not None:
+            self._comp.on_local_access(line)
+
+    def _demand_miss(self, block: int, on_done: DoneFn, t0: int) -> None:
+        kind = self.classifier.classify(block)
+        self.stats.demand_read_misses += 1
+        if kind == MissClassifier.COLD:
+            self.stats.cold_misses += 1
+        elif kind == MissClassifier.COHERENCE:
+            self.stats.coherence_misses += 1
+        else:
+            self.stats.replacement_misses += 1
+        if self.prefetcher is not None:
+            self.prefetcher.on_demand_miss(
+                predecessor_cached=self.slc.lookup(block - 1) is not None
+            )
+
+        def issue() -> None:
+            # the state may have moved while we waited for SLWB room
+            if self.slc.lookup(block) is not None:
+                self._sim.after(0, on_done)
+                return
+            pr = self._pending_reads.get(block)
+            if pr is not None:
+                pr.demand_waiters.append(on_done)
+                return
+            pw = self._pending_writes.get(block)
+            if pw is not None:
+                pw.read_waiters.append(on_done)
+                return
+            if self._flush_in_flight(block):
+                self._flush_read_waiters.setdefault(block, []).append(
+                    (on_done, t0)
+                )
+                return
+            eid = self.slwb.alloc(SlwbKind.READ)
+            entry = _PendingRead(
+                block=block, slwb_id=eid, is_prefetch=False,
+                start=t0, demand_waiters=[on_done],
+            )
+            self._pending_reads[block] = entry
+            self._send_msg(MsgType.RD_REQ, block)
+            self._maybe_prefetch(block)
+
+        self._when_slwb_room(issue)
+
+    def _maybe_prefetch(self, miss_block: int) -> None:
+        if self.prefetcher is None or not self.prefetcher.enabled:
+            return
+        for cand in self.prefetcher.candidates(miss_block):
+            if self.slc.lookup(cand) is not None:
+                continue
+            if cand in self._pending_reads or cand in self._pending_writes:
+                continue
+            if not self.slwb.has_room():
+                break  # prefetches are hints: drop under pressure
+            eid = self.slwb.alloc(SlwbKind.PREFETCH)
+            self._pending_reads[cand] = _PendingRead(
+                block=cand, slwb_id=eid, is_prefetch=True, start=self._sim.now
+            )
+            self._send_msg(MsgType.RD_REQ, cand, prefetch=True)
+            self.prefetcher.on_prefetch_issued()
+            self.stats.prefetches_issued += 1
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _pump_drain(self) -> None:
+        if self._draining or self.flwb.empty:
+            return
+        self._draining = True
+        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
+        self._sim.at(t1, self._drain_head)
+
+    def _drain_head(self) -> None:
+        if self.flwb.empty:
+            self._draining = False
+            return
+        head = self.flwb.peek()
+        if head.marker is not None:
+            self.flwb.pop()
+            self._arm_marker(head.marker)
+            self._continue_drain()
+            return
+        if self._apply_write(head.addr):
+            self.flwb.pop()
+            self._notify_flwb_space()
+            self._continue_drain()
+        else:
+            # SLWB full: retry when an entry retires
+            self._when_slwb_room(self._drain_head)
+
+    def _continue_drain(self) -> None:
+        if self.flwb.empty:
+            self._draining = False
+            return
+        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
+        self._sim.at(t1, self._drain_head)
+
+    def _notify_flwb_space(self) -> None:
+        while self._flwb_space_waiters and not self.flwb.full:
+            self._flwb_space_waiters.popleft()()
+
+    def _apply_write(self, addr: int) -> bool:
+        """Perform one write at the SLC; False = wait for SLWB room."""
+        block = self._amap.block_of(addr)
+        word = self._amap.word_of(addr)
+        line = self.slc.lookup(block)
+        if line is not None and line.state is CacheState.DIRTY:
+            line.modified_since_update = True
+            return True
+        if line is not None and line.state is CacheState.MIG_CLEAN:
+            line.state = CacheState.DIRTY
+            line.modified_since_update = True
+            return True
+        if self._cw:
+            if self.wcache is not None:
+                self._write_into_write_cache(block, word, line)
+                return True
+            # ref [10]'s protocol: no write cache, every write to a
+            # shared/invalid block propagates as a single-word update
+            if not self.slwb.has_room():
+                return False
+            self._touch_cw_line(line)
+            self._issue_flush(
+                WriteCacheEntry(
+                    block=block, dirty_words={word},
+                    had_copy=line is not None,
+                ),
+                markers=[],
+            )
+            return True
+        # BASIC / M: write-invalidate ownership path
+        if block in self._pending_writes:
+            return True  # covered by the in-flight ownership request
+        if not self.slwb.has_room():
+            return False
+        self._issue_ownership(block, line, sc_waiter=None)
+        return True
+
+    def _issue_ownership(
+        self, block: int, line: CacheLine | None, sc_waiter: DoneFn | None
+    ) -> None:
+        eid = self.slwb.alloc(SlwbKind.OWNERSHIP)
+        self.stats.ownership_requests += 1
+        self._pending_writes[block] = _PendingWrite(
+            block=block, slwb_id=eid, start=self._sim.now, sc_waiter=sc_waiter
+        )
+        if line is not None or block in self._pending_reads:
+            self._send_msg(MsgType.OWN_REQ, block)
+        else:
+            self._send_msg(MsgType.RDX_REQ, block)
+
+    def _touch_cw_line(self, line: CacheLine | None) -> None:
+        if line is not None and self._comp is not None:
+            self._comp.on_local_access(line, modifying=True)
+
+    def _write_into_write_cache(
+        self, block: int, word: int, line: CacheLine | None
+    ) -> None:
+        assert self.wcache is not None
+        self._touch_cw_line(line)
+        victim = self.wcache.write(block, word, had_copy=line is not None)
+        if victim is not None:
+            self._queue_flush(victim, markers=[])
+
+    def _write_blocking_at_slc(self, addr: int, on_done: DoneFn) -> None:
+        """SC write: stall until ownership is granted."""
+        block = self._amap.block_of(addr)
+        line = self.slc.lookup(block)
+        if line is not None and line.state is CacheState.DIRTY:
+            on_done()
+            return
+        if line is not None and line.state is CacheState.MIG_CLEAN:
+            line.state = CacheState.DIRTY
+            line.modified_since_update = True
+            on_done()
+            return
+        pw = self._pending_writes.get(block)
+        if pw is not None:
+            # merge with an earlier pending write to the same block
+            if pw.sc_waiter is None:
+                pw.sc_waiter = on_done
+            else:
+                pw.read_waiters.append(on_done)
+            return
+
+        def issue() -> None:
+            ln = self.slc.lookup(block)
+            if ln is not None and ln.state is CacheState.DIRTY:
+                self._sim.after(0, on_done)
+                return
+            if ln is not None and ln.state is CacheState.MIG_CLEAN:
+                ln.state = CacheState.DIRTY
+                ln.modified_since_update = True
+                self._sim.after(0, on_done)
+                return
+            merged = self._pending_writes.get(block)
+            if merged is not None:
+                merged.read_waiters.append(on_done)
+                return
+            self._issue_ownership(block, ln, sc_waiter=on_done)
+
+        self._when_slwb_room(issue)
+
+    # ------------------------------------------------------------------
+    # write-cache flushes
+    # ------------------------------------------------------------------
+
+    def _queue_flush(
+        self, entry: WriteCacheEntry, markers: list[_SyncMarker]
+    ) -> None:
+        if self.slwb.has_room():
+            self._issue_flush(entry, markers)
+        else:
+            self._flush_queue.append((entry, markers))
+            self._when_slwb_room(self._drain_flush_queue)
+
+    def _drain_flush_queue(self) -> None:
+        while self._flush_queue and self.slwb.has_room():
+            entry, markers = self._flush_queue.popleft()
+            self._issue_flush(entry, markers)
+
+    def _issue_flush(
+        self, entry: WriteCacheEntry, markers: list[_SyncMarker]
+    ) -> None:
+        eid = self.slwb.alloc(SlwbKind.WC_FLUSH)
+        self.stats.write_cache_flushes += 1
+        self._pending_flushes.setdefault(entry.block, deque()).append(eid)
+        if markers:
+            self._eid_markers.setdefault(eid, []).extend(markers)
+        self._send_msg(MsgType.WC_FLUSH, entry.block, words=len(entry.dirty_words))
+
+    # ------------------------------------------------------------------
+    # synchronization markers
+    # ------------------------------------------------------------------
+
+    def _arm_marker(self, marker: _SyncMarker) -> None:
+        """Register everything the sync point must wait for."""
+        waiting_eids: list[int] = []
+        for pw in self._pending_writes.values():
+            waiting_eids.append(pw.slwb_id)
+        for fifo in self._pending_flushes.values():
+            waiting_eids.extend(fifo)
+        if self.wcache is not None:
+            for entry in self.wcache.drain():
+                self._queue_flush(entry, markers=[marker])
+                marker.outstanding += 1
+        for _entry, markers in self._flush_queue:
+            if marker not in markers:
+                markers.append(marker)
+                marker.outstanding += 1
+        for eid in waiting_eids:
+            self._eid_markers.setdefault(eid, []).append(marker)
+            marker.outstanding += 1
+        if marker.outstanding == 0:
+            self._fire_marker(marker)
+
+    def _fire_marker(self, marker: _SyncMarker) -> None:
+        if marker.kind == "release":
+            if marker.on_done is not None:
+                self._release_acks.setdefault(marker.target, deque()).append(
+                    marker.on_done
+                )
+            self._send_msg(MsgType.LOCK_REL, marker.target)
+        else:
+            self._barrier_waiters[marker.target] = marker.on_done or (lambda: None)
+            self._send_barrier_arrive(marker.target, marker.expected)
+
+    def _marker_progress(self, eid: int) -> None:
+        for marker in self._eid_markers.pop(eid, []):
+            marker.outstanding -= 1
+            if marker.outstanding == 0:
+                self._fire_marker(marker)
+
+    # ------------------------------------------------------------------
+    # message send helpers
+    # ------------------------------------------------------------------
+
+    def _home_of(self, block: int) -> int:
+        if self._placement is None:
+            return self._amap.home_of_block(block)
+        page = self._amap.page_of(self._amap.block_base(block))
+        return self._placement.home_of_page(page, toucher=self.node_id)
+
+    def _send_msg(self, mtype: MsgType, block: int, **kw) -> None:
+        dst = self._home_of(block)
+        self._send(
+            Message(mtype, src=self.node_id, dst=dst, block=block, **kw),
+            self._sim.now,
+        )
+
+    def _send_barrier_arrive(self, bar_id: int, expected: int) -> None:
+        dst = bar_id % self._cfg.n_procs
+        self._send(
+            Message(
+                MsgType.BAR_ARRIVE, src=self.node_id, dst=dst,
+                block=bar_id, tag=expected,
+            ),
+            self._sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # fills and evictions
+    # ------------------------------------------------------------------
+
+    def _fill(self, block: int, state: CacheState) -> CacheLine:
+        line, victim = self.slc.insert(block, state)
+        self.classifier.on_fill(block)
+        if self._comp is not None:
+            self._comp.on_fill(line)
+        if victim is not None:
+            self._evict(victim)
+        return line
+
+    def _evict(self, victim: CacheLine) -> None:
+        self.classifier.on_eviction(victim.block)
+        self.flc.invalidate(victim.block)  # inclusion
+        if victim.state in (CacheState.DIRTY, CacheState.MIG_CLEAN):
+            self.stats.writebacks += 1
+            self._victims[victim.block] = victim.state is CacheState.DIRTY
+            self._send_msg(MsgType.WB, victim.block)
+        else:
+            self._send_msg(MsgType.REPL, victim.block)
+
+    # ------------------------------------------------------------------
+    # network delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, msg: Message, t: int) -> None:
+        """Handle a cache-bound message arriving at time ``t``."""
+        handler = {
+            MsgType.RD_RPL: self._on_rd_rpl,
+            MsgType.RDX_RPL: self._on_write_reply,
+            MsgType.OWN_ACK: self._on_write_reply,
+            MsgType.INV: self._on_inv,
+            MsgType.FETCH: self._on_fetch,
+            MsgType.FETCH_INV: self._on_fetch,
+            MsgType.UPD_PROP: self._on_update,
+            MsgType.MIG_QUERY: self._on_mig_query,
+            MsgType.WC_ACK: self._on_wc_ack,
+            MsgType.WB_ACK: self._on_wb_ack,
+            MsgType.LOCK_GRANT: self._on_lock_grant,
+            MsgType.LOCK_REL_ACK: self._on_lock_rel_ack,
+            MsgType.BAR_WAKE: self._on_bar_wake,
+        }.get(msg.mtype)
+        if handler is None:
+            raise SimulationError(
+                f"cache {self.node_id}: unexpected {msg.mtype}"
+            )
+        handler(msg, t)
+
+    def _on_rd_rpl(self, msg: Message, t: int) -> None:
+        block = msg.block
+        pr = self._pending_reads.pop(block, None)
+        if pr is None:
+            raise SimulationError(f"stray RD_RPL for block {block}")
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        state = CacheState.MIG_CLEAN if msg.grant == "MC" else CacheState.SHARED
+        demand = bool(pr.demand_waiters) or pr.merged_prefetch
+        if pr.invalidated and state is not CacheState.MIG_CLEAN:
+            # An invalidation raced the (shared) data: bind the value
+            # to the waiting read but keep no line.  Whether the INV
+            # was serialized before or after our read, ending up
+            # line-less is safe -- the directory at worst
+            # overestimates our copy.  An exclusive (MC) grant can
+            # never be trailed by an INV (owners receive fetches, not
+            # invalidations), so any recorded INV predates the grant
+            # and is ignored.
+            self.classifier.on_fill(block)
+            self.classifier.on_coherence_loss(block)
+        else:
+            line = self._fill(block, state)
+            line.prefetched = pr.is_prefetch and not demand
+        if pr.demand_waiters:
+            done = t1 + self._timing.flc_fill
+            if not pr.invalidated:
+                self.flc.fill(block)
+            self.stats.read_miss_latency_total += done - pr.start
+            self.stats.read_miss_latency_count += 1
+            for cb in pr.demand_waiters:
+                self._sim.at(done, cb)
+        self._release_slwb(pr.slwb_id)
+        for deferred in pr.deferred:
+            self._sim.at(t1, self.deliver, deferred, t1)
+
+    def _on_write_reply(self, msg: Message, t: int) -> None:
+        block = msg.block
+        pw = self._pending_writes.pop(block, None)
+        if pw is None:
+            raise SimulationError(f"stray {msg.mtype} for block {block}")
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        line = self.slc.lookup(block)
+        if line is None:
+            line = self._fill(block, CacheState.DIRTY)
+        else:
+            line.state = CacheState.DIRTY
+        line.modified_since_update = True
+        line.prefetched = False
+        if pw.read_waiters:
+            self.flc.fill(block)
+            for cb in pw.read_waiters:
+                self._sim.at(t1 + self._timing.flc_fill, cb)
+        if pw.sc_waiter is not None:
+            self._sim.at(t1, pw.sc_waiter)
+        self._release_slwb(pw.slwb_id)
+        for deferred in pw.deferred:
+            self._sim.at(t1, self.deliver, deferred, t1)
+
+    def _on_inv(self, msg: Message, t: int) -> None:
+        block = msg.block
+        self.stats.invalidations_received += 1
+        words = 0
+        if self.wcache is not None:
+            entry = self.wcache.remove(block)
+            if entry is not None:
+                words = len(entry.dirty_words)
+        line = self.slc.invalidate(block)
+        if line is not None:
+            self.classifier.on_coherence_loss(block)
+            self.flc.invalidate(block)
+        pr = self._pending_reads.get(block)
+        if pr is not None:
+            pr.invalidated = True
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        self._send(
+            Message(
+                MsgType.INV_ACK, src=self.node_id, dst=msg.src,
+                block=block, words=words,
+            ),
+            t1,
+        )
+
+    def _on_fetch(self, msg: Message, t: int) -> None:
+        block = msg.block
+        # Defer the fetch only when the data is genuinely still in
+        # flight (no valid line, no victim-buffer copy).  A valid line
+        # must answer immediately even with an ownership upgrade
+        # pending, because that upgrade may be queued at the home
+        # *behind* this very fetch.  A block in the victim buffer
+        # always means the fetch targets the old, evicted copy (home
+        # processed our WB before granting anything newer, and
+        # per-pair FIFO would have delivered the WB_ACK first).
+        line = self.slc.lookup(block)
+        if line is None and block not in self._victims:
+            pr = self._pending_reads.get(block)
+            if pr is not None:
+                pr.deferred.append(msg)
+                return
+            pw = self._pending_writes.get(block)
+            if pw is not None:
+                pw.deferred.append(msg)
+                return
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        if line is not None and block not in self._victims:
+            was_modified = line.state is CacheState.DIRTY
+            dropped = False
+            if msg.mtype is MsgType.FETCH_INV:
+                self.slc.invalidate(block)
+                self.flc.invalidate(block)
+                self.classifier.on_coherence_loss(block)
+                dropped = True
+            else:
+                line.state = CacheState.SHARED
+                line.modified_since_update = False
+        elif block in self._victims:
+            was_modified = self._victims[block]
+            dropped = True
+        else:
+            raise SimulationError(
+                f"cache {self.node_id}: FETCH for absent block {block}"
+            )
+        if msg.requester >= 0:
+            reply = (
+                MsgType.RDX_RPL if msg.grant == "X" else MsgType.RD_RPL
+            )
+            self._send(
+                Message(
+                    reply, src=self.node_id, dst=msg.requester,
+                    block=block, grant=msg.grant,
+                ),
+                t1,
+            )
+        self._send(
+            Message(
+                MsgType.XFER_ACK, src=self.node_id, dst=msg.src, block=block,
+                was_modified=was_modified, drop=dropped,
+            ),
+            t1,
+        )
+
+    def _on_update(self, msg: Message, t: int) -> None:
+        block = msg.block
+        self.stats.updates_received += 1
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        line = self.slc.lookup(block)
+        if line is None:
+            drop = block not in self._pending_reads
+        else:
+            assert self._comp is not None
+            drop = self._comp.on_update(line)
+            # force the next local read through to the SLC so local
+            # activity remains visible to the competitive counter
+            self.flc.invalidate(block)
+            if drop:
+                self.slc.invalidate(block)
+                self.classifier.on_coherence_loss(block)
+                self.stats.updates_dropped += 1
+        self._send(
+            Message(
+                MsgType.UPD_ACK, src=self.node_id, dst=msg.src,
+                block=block, drop=drop,
+            ),
+            t1,
+        )
+
+    def _on_mig_query(self, msg: Message, t: int) -> None:
+        block = msg.block
+        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        line = self.slc.lookup(block)
+        words = 0
+        if line is None and block in self._pending_reads:
+            # a fresh copy is already on its way to us: we are a
+            # reader, not a modifier -- keep the (incoming) copy
+            give_up = False
+        elif line is None:
+            give_up = True
+        elif line.modified_since_update or (
+            self.wcache is not None and self.wcache.lookup(block) is not None
+        ):
+            # modified since the last update from home: give up (§3.4)
+            give_up = True
+            if self.wcache is not None:
+                entry = self.wcache.remove(block)
+                if entry is not None:
+                    words = len(entry.dirty_words)
+            self.slc.invalidate(block)
+            self.flc.invalidate(block)
+            self.classifier.on_coherence_loss(block)
+        else:
+            give_up = False
+        self._send(
+            Message(
+                MsgType.MIG_RPL, src=self.node_id, dst=msg.src,
+                block=block, give_up=give_up, words=words,
+            ),
+            t1,
+        )
+
+    def _on_wc_ack(self, msg: Message, t: int) -> None:
+        block = msg.block
+        fifo = self._pending_flushes.get(block)
+        if not fifo:
+            raise SimulationError(f"stray WC_ACK for block {block}")
+        eid = fifo.popleft()
+        if not fifo:
+            del self._pending_flushes[block]
+        if msg.exclusive:
+            line = self.slc.lookup(block)
+            if line is not None:
+                line.state = CacheState.DIRTY
+                line.modified_since_update = True
+            else:
+                # the SLC copy was victimized while the flush was in
+                # flight: relinquish the surprise ownership right away
+                self._victims[block] = False
+                self._send_msg(MsgType.WB, block)
+        self._release_slwb(eid)
+        if not self._flush_in_flight(block):
+            for cb, t0 in self._flush_read_waiters.pop(block, []):
+                self._slc_read(block, cb, t0)
+
+    def _on_wb_ack(self, msg: Message, t: int) -> None:
+        self._victims.pop(msg.block, None)
+
+    def _on_lock_grant(self, msg: Message, t: int) -> None:
+        waiters = self._lock_waiters.get(msg.block)
+        if not waiters:
+            raise SimulationError(f"stray LOCK_GRANT for {msg.block}")
+        waiters.popleft()()
+        if not waiters:
+            del self._lock_waiters[msg.block]
+
+    def _on_lock_rel_ack(self, msg: Message, t: int) -> None:
+        acks = self._release_acks.get(msg.block)
+        if acks:
+            acks.popleft()()
+            if not acks:
+                del self._release_acks[msg.block]
+
+    def _on_bar_wake(self, msg: Message, t: int) -> None:
+        cb = self._barrier_waiters.pop(msg.block, None)
+        if cb is None:
+            raise SimulationError(f"stray BAR_WAKE for barrier {msg.block}")
+        cb()
+
+    # ------------------------------------------------------------------
+    # SLWB bookkeeping
+    # ------------------------------------------------------------------
+
+    def _when_slwb_room(self, cb: Callable[[], None]) -> None:
+        if self.slwb.has_room():
+            cb()
+        else:
+            self._slwb_waiters.append(cb)
+
+    def _release_slwb(self, eid: int) -> None:
+        self.slwb.release(eid)
+        self._marker_progress(eid)
+        while self._slwb_waiters and self.slwb.has_room():
+            self._slwb_waiters.popleft()()
+
+    # ------------------------------------------------------------------
+    # introspection (tests, invariants)
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding_requests(self) -> int:
+        """Pending reads + writes + flushes (for quiescence checks)."""
+        return (
+            len(self._pending_reads)
+            + len(self._pending_writes)
+            + sum(len(f) for f in self._pending_flushes.values())
+            + len(self._flush_queue)
+        )

@@ -1,0 +1,119 @@
+"""Coherence-invariant checker.
+
+Validates that a quiescent system (no in-flight transactions) is in a
+globally coherent state.  Used by the test suite after every
+integration run and by the hypothesis-based protocol fuzzer; it is
+also a handy debugging aid for protocol extensions.
+
+Checked invariants:
+
+* **SWMR** -- at most one cache holds a block in an exclusive state
+  (DIRTY / MIG_CLEAN), and then no other cache holds it at all;
+* **directory-owner agreement** -- a MODIFIED directory entry names
+  exactly the cache holding the exclusive copy;
+* **directory-sharer conservativeness** -- every cached copy is known
+  to the directory (the directory may *overestimate* only while a
+  replacement hint is in flight, which cannot happen at quiescence);
+* **inclusion** -- every block valid in a node's FLC is valid in its
+  SLC;
+* **quiescence** -- no pending reads/writes/flushes remain in any
+  cache controller and no transactions remain at any home.
+"""
+
+from __future__ import annotations
+
+from repro.core.states import CacheState, MemoryState
+from repro.system import System
+
+
+class InvariantViolation(AssertionError):
+    """A coherence invariant does not hold."""
+
+
+def check_quiescent(system: System) -> None:
+    """All controllers idle: nothing pending anywhere."""
+    for node in system.nodes:
+        cache = node.cache
+        if cache.outstanding_requests:
+            raise InvariantViolation(
+                f"node {node.node_id}: {cache.outstanding_requests} "
+                "outstanding cache requests at quiescence"
+            )
+        if len(cache.flwb):
+            raise InvariantViolation(
+                f"node {node.node_id}: FLWB not drained at quiescence"
+            )
+        home = node.home
+        if home._xacts:
+            raise InvariantViolation(
+                f"home {node.node_id}: transactions {list(home._xacts)} "
+                "still active at quiescence"
+            )
+
+
+def check_inclusion(system: System) -> None:
+    """FLC contents are a subset of SLC contents on every node."""
+    for node in system.nodes:
+        slc_blocks = {ln.block for ln in node.cache.slc.resident_lines()}
+        for block in node.cache.flc.resident_blocks():
+            if block not in slc_blocks:
+                raise InvariantViolation(
+                    f"node {node.node_id}: FLC holds block {block} "
+                    "absent from the SLC (inclusion violated)"
+                )
+
+
+def _holders(system: System, block: int) -> dict[int, CacheState]:
+    holders = {}
+    for node in system.nodes:
+        line = node.cache.slc.lookup(block)
+        if line is not None:
+            holders[node.node_id] = line.state
+    return holders
+
+
+def check_coherence(system: System) -> None:
+    """SWMR + directory agreement for every block with directory state."""
+    for node in system.nodes:
+        home = node.home
+        for block in home.directory.known_blocks():
+            entry = home.directory.entry(block)
+            holders = _holders(system, block)
+            exclusive = [
+                n for n, st in holders.items()
+                if st in (CacheState.DIRTY, CacheState.MIG_CLEAN)
+            ]
+            if len(exclusive) > 1:
+                raise InvariantViolation(
+                    f"block {block}: multiple exclusive holders {exclusive}"
+                )
+            if exclusive and len(holders) > 1:
+                raise InvariantViolation(
+                    f"block {block}: exclusive holder {exclusive[0]} "
+                    f"coexists with copies at {sorted(holders)}"
+                )
+            if entry.state is MemoryState.MODIFIED:
+                if not exclusive or exclusive[0] != entry.owner:
+                    raise InvariantViolation(
+                        f"block {block}: directory says MODIFIED at "
+                        f"{entry.owner} but exclusive holders are {exclusive}"
+                    )
+            else:
+                if exclusive:
+                    raise InvariantViolation(
+                        f"block {block}: directory says CLEAN but node "
+                        f"{exclusive[0]} holds it exclusively"
+                    )
+                unknown = set(holders) - entry.sharers
+                if unknown:
+                    raise InvariantViolation(
+                        f"block {block}: caches {sorted(unknown)} hold "
+                        f"copies unknown to the directory {sorted(entry.sharers)}"
+                    )
+
+
+def check_all(system: System) -> None:
+    """Run every invariant check (call after :meth:`System.run`)."""
+    check_quiescent(system)
+    check_inclusion(system)
+    check_coherence(system)

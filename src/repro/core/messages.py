@@ -1,0 +1,130 @@
+"""Coherence-protocol messages.
+
+Message sizes drive the network-traffic results (Figure 4) and mesh
+contention (Table 3):
+
+* control messages carry a header only (8 bytes),
+* block-data messages carry header + a 32-byte block,
+* partial-update messages (write-cache flushes and their propagation)
+  carry header + 4 bytes per dirty word -- the selective-word
+  transmission of §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class MsgType(Enum):
+    """All message kinds exchanged between caches and homes."""
+
+    # requester -> home
+    RD_REQ = auto()        # read miss (``prefetch`` flag for P requests)
+    RDX_REQ = auto()       # write miss: fetch block + ownership
+    OWN_REQ = auto()       # upgrade: ownership for an already-SHARED copy
+    WB = auto()            # dirty-block writeback (eviction / demotion)
+    REPL = auto()          # replacement hint for a shared copy
+    WC_FLUSH = auto()      # CW: write-cache flush with dirty words
+    LOCK_REQ = auto()
+    LOCK_REL = auto()
+    BAR_ARRIVE = auto()
+
+    # home -> cache
+    RD_RPL = auto()        # data reply (``grant`` = SHARED or MIG_CLEAN)
+    RDX_RPL = auto()       # data + ownership reply
+    OWN_ACK = auto()       # ownership granted (no data needed)
+    INV = auto()           # invalidate your copy
+    FETCH = auto()         # dirty owner: send data to requester, demote
+    FETCH_INV = auto()     # dirty owner: send data to requester, invalidate
+    UPD_PROP = auto()      # CW: update propagation to a sharer
+    MIG_QUERY = auto()     # CW+M: interrogation of copy holders (§3.4)
+    WC_ACK = auto()        # CW: flush complete (``exclusive`` flag)
+    WB_ACK = auto()
+    LOCK_GRANT = auto()
+    LOCK_REL_ACK = auto()  # release globally performed (SC accounting)
+    BAR_WAKE = auto()
+
+    # cache -> home (completions)
+    INV_ACK = auto()
+    UPD_ACK = auto()       # ``drop`` flag: copy self-invalidated
+    MIG_RPL = auto()       # CW+M: ``give_up`` flag
+    XFER_ACK = auto()      # owner finished a FETCH/FETCH_INV
+                           # (``was_modified``, carries data when dirty)
+
+
+#: messages the *home controller* of the destination node handles.
+HOME_BOUND = frozenset(
+    {
+        MsgType.RD_REQ,
+        MsgType.RDX_REQ,
+        MsgType.OWN_REQ,
+        MsgType.WB,
+        MsgType.REPL,
+        MsgType.WC_FLUSH,
+        MsgType.LOCK_REQ,
+        MsgType.LOCK_REL,
+        MsgType.BAR_ARRIVE,
+        MsgType.INV_ACK,
+        MsgType.UPD_ACK,
+        MsgType.MIG_RPL,
+        MsgType.XFER_ACK,
+    }
+)
+
+HEADER_BYTES = 8
+BLOCK_BYTES = 32
+WORD_BYTES = 4
+
+#: message kinds that carry a whole data block (FETCH / FETCH_INV are
+#: control-only forwards; the data travels in the owner's RD_RPL and
+#: in its XFER_ACK writeback when dirty).
+_BLOCK_CARRIERS = frozenset(
+    {MsgType.RD_RPL, MsgType.RDX_RPL, MsgType.WB}
+)
+
+
+@dataclass
+class Message:
+    """One protocol message in flight."""
+
+    mtype: MsgType
+    src: int
+    dst: int
+    block: int = -1
+    #: node that originated the transaction (forwards keep it).
+    requester: int = -1
+    #: P: this read request is a (non-binding) prefetch.
+    prefetch: bool = False
+    #: CW: number of dirty words carried (WC_FLUSH / UPD_PROP / INV_ACK).
+    words: int = 0
+    #: grant for RD_RPL: "S" (shared) or "MC" (exclusive / migratory).
+    grant: str = "S"
+    #: XFER_ACK: the owner had modified the block since receiving it.
+    was_modified: bool = False
+    #: UPD_ACK: the sharer dropped its copy (competitive counter expired).
+    drop: bool = False
+    #: MIG_RPL: the interrogated cache gave up its copy.
+    give_up: bool = False
+    #: WC_ACK: the home granted exclusivity to the flusher.
+    exclusive: bool = False
+    #: generic small-integer payload (barrier ids, lock cookies).
+    tag: int = field(default=0)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this message occupies on the network."""
+        if self.mtype in _BLOCK_CARRIERS:
+            return HEADER_BYTES + BLOCK_BYTES
+        if self.mtype in (MsgType.WC_FLUSH, MsgType.UPD_PROP):
+            return HEADER_BYTES + WORD_BYTES * self.words
+        if self.mtype is MsgType.XFER_ACK and self.was_modified:
+            return HEADER_BYTES + BLOCK_BYTES
+        if self.mtype is MsgType.INV_ACK and self.words:
+            return HEADER_BYTES + WORD_BYTES * self.words
+        return HEADER_BYTES
+
+    @property
+    def carries_data(self) -> bool:
+        """True if this message carries any payload beyond the header."""
+        return self.size_bytes > HEADER_BYTES

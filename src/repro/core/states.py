@@ -1,0 +1,42 @@
+"""Cache-line and memory-block (directory) states.
+
+Paper §2: BASIC needs three stable cache states (INVALID, SHARED, DIRTY)
+and two stable memory states (CLEAN, MODIFIED) plus transients.  The
+migratory optimization (§3.2) adds one extra cache state, modelled here
+as ``MIG_CLEAN``: an exclusive copy granted by a migratory read miss
+that has not been written yet.  A write upgrades it to DIRTY with no
+global traffic; if the block is fetched away while still MIG_CLEAN the
+home learns the block stopped being migratory and reverts it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CacheState(Enum):
+    """Stable states of a second-level cache line."""
+
+    INVALID = "I"
+    SHARED = "S"
+    DIRTY = "D"
+    #: exclusive copy obtained through the migratory optimization,
+    #: not modified yet (the extra state of §3.2 / ref [12]).
+    MIG_CLEAN = "MC"
+
+    @property
+    def is_exclusive(self) -> bool:
+        """True if no other cache may hold this block."""
+        return self in (CacheState.DIRTY, CacheState.MIG_CLEAN)
+
+    @property
+    def is_valid(self) -> bool:
+        """True if the line holds usable data."""
+        return self is not CacheState.INVALID
+
+
+class MemoryState(Enum):
+    """Stable states of a memory block in the directory."""
+
+    CLEAN = "C"
+    MODIFIED = "M"

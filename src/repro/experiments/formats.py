@@ -1,0 +1,110 @@
+"""Text rendering for experiment output: tables and bar charts.
+
+The drivers print the same rows/series the paper reports; figures are
+rendered as horizontal ASCII bar charts with the paper's stall-time
+decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV rendering (for plotting the data with external tools)."""
+    import csv
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write a CSV file for external plotting."""
+    with open(path, "w", newline="") as fh:
+        fh.write(to_csv(headers, rows))
+
+
+#: glyph per stall component, in the paper's stacking order
+_SEGMENT_GLYPHS = {
+    "busy": "#",
+    "read": "r",
+    "write": "w",
+    "acquire": "a",
+    "release": "l",
+}
+
+
+def render_stacked_bars(
+    bars: Sequence[tuple[str, dict[str, float]]],
+    width: int = 60,
+    reference: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Horizontal stacked bars of execution-time components.
+
+    ``bars`` is ``[(label, {"busy": x, "read": y, ...}), ...]``; values
+    are normalized against the largest total (or ``reference``).  A
+    legend line explains the glyphs.
+    """
+    totals = [sum(parts.values()) for _lbl, parts in bars]
+    scale = reference if reference is not None else max(totals or [1.0])
+    if scale <= 0:
+        scale = 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max((len(lbl) for lbl, _p in bars), default=0)
+    for (label, parts), total in zip(bars, totals):
+        bar = ""
+        for key, glyph in _SEGMENT_GLYPHS.items():
+            value = parts.get(key, 0.0)
+            bar += glyph * int(round(width * value / scale))
+        lines.append(f"{label.ljust(label_w)} |{bar}  {total / scale:.2f}")
+    legend = ", ".join(f"{g}={k}" for k, g in _SEGMENT_GLYPHS.items())
+    lines.append(f"({legend}; numbers are relative to the first/reference bar)")
+    return "\n".join(lines)
+
+
+def decomposition(stats) -> dict[str, float]:
+    """The paper's execution-time decomposition from MachineStats."""
+    return {
+        "busy": stats.mean_busy,
+        "read": stats.mean_read_stall,
+        "write": stats.mean_write_stall,
+        "acquire": stats.mean_acquire_stall,
+        "release": stats.mean_release_stall,
+    }

@@ -1,0 +1,96 @@
+"""Shared experiment runner.
+
+Every table/figure driver goes through :func:`run_once`, which builds a
+machine for (application, protocol, consistency, network), runs the
+application's reference streams and returns the statistics.  ``scale``
+shrinks the workloads proportionally so the benchmark harness can run
+quickly while the full-scale experiments regenerate the paper's data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.config import (
+    CacheConfig,
+    Consistency,
+    NetworkConfig,
+    NetworkKind,
+    SystemConfig,
+)
+from repro.stats.counters import MachineStats
+from repro.system import System
+from repro.workloads import build_workload
+
+
+@dataclass
+class RunResult:
+    """Statistics of one simulation plus its configuration."""
+
+    app: str
+    protocol: str
+    consistency: str
+    stats: MachineStats
+    system: System
+
+    @property
+    def execution_time(self) -> int:
+        """Parallel-section execution time in pclocks."""
+        return self.stats.execution_time
+
+
+def make_config(
+    protocol: str = "BASIC",
+    consistency: Consistency = Consistency.RC,
+    network: NetworkConfig | None = None,
+    cache: CacheConfig | None = None,
+    n_procs: int = 16,
+) -> SystemConfig:
+    """A paper-default SystemConfig with the given overrides."""
+    cfg = SystemConfig(
+        n_procs=n_procs,
+        consistency=consistency,
+        network=network or NetworkConfig(),
+        cache=cache or CacheConfig(),
+    )
+    return cfg.with_protocol(protocol)
+
+
+def run_once(
+    app: str,
+    protocol: str = "BASIC",
+    consistency: Consistency = Consistency.RC,
+    network: NetworkConfig | None = None,
+    cache: CacheConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 1994,
+    **workload_kw: Any,
+) -> RunResult:
+    """Simulate one (application, machine) pair to completion."""
+    cfg = make_config(protocol, consistency, network, cache)
+    streams = build_workload(app, cfg, scale=scale, seed=seed, **workload_kw)
+    system = System(cfg)
+    stats = system.run(streams)
+    return RunResult(
+        app=app,
+        protocol=protocol,
+        consistency=consistency.value,
+        stats=stats,
+        system=system,
+    )
+
+
+def mesh_network(link_width_bits: int) -> NetworkConfig:
+    """The §5.3 wormhole mesh with the given link width."""
+    return NetworkConfig(kind=NetworkKind.MESH, link_width_bits=link_width_bits)
+
+
+def small_buffer_cache() -> CacheConfig:
+    """§5.4: 4-entry FLWB and SLWB."""
+    return CacheConfig(flwb_entries=4, slwb_entries=4)
+
+
+def limited_slc_cache(size: int = 16 * 1024) -> CacheConfig:
+    """§5.4: bounded direct-mapped SLC (16 KB by default)."""
+    return CacheConfig(slc_size=size)

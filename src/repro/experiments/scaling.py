@@ -1,0 +1,77 @@
+"""Machine-size scaling study (extension beyond the paper).
+
+The paper evaluates a fixed 16-processor machine.  This driver varies
+the processor count (the mesh requires square counts: 4, 9, 16) and
+reports, per protocol, how the execution time and the extension gains
+scale.  Two effects the protocol extensions interact with:
+
+* more processors -> more sharers per block -> longer invalidation
+  chains (BASIC's write cost grows) and more update fan-out (CW's
+  traffic grows),
+* migratory chains visit more processors -> M's detection pays off
+  once per block regardless, so its relative gain is stable.
+
+Run:  python -m repro.experiments.scaling [--scale S] [--app mp3d]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import SystemConfig
+from repro.experiments.formats import render_table
+from repro.system import System
+from repro.workloads import build_workload
+
+MACHINE_SIZES = (4, 9, 16)
+PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M")
+
+
+def run(app: str = "mp3d", scale: float = 1.0,
+        sizes: tuple[int, ...] = MACHINE_SIZES) -> dict:
+    """{n_procs: {proto: (exec_time, rel_to_basic, net_bytes)}}."""
+    out: dict = {}
+    for n in sizes:
+        out[n] = {}
+        base = None
+        for proto in PROTOCOLS:
+            cfg = SystemConfig(n_procs=n).with_protocol(proto)
+            streams = build_workload(app, cfg, scale=scale)
+            stats = System(cfg).run(streams)
+            if base is None:
+                base = stats.execution_time
+            out[n][proto] = (
+                stats.execution_time,
+                stats.execution_time / base,
+                stats.network.bytes,
+            )
+    return out
+
+
+def render(data: dict, app: str = "") -> str:
+    """Relative-time table across machine sizes."""
+    sizes = list(data)
+    rows = []
+    for proto in PROTOCOLS:
+        row: list[object] = [proto]
+        row += [data[n][proto][1] for n in sizes]
+        rows.append(row)
+    return render_table(
+        ["Protocol"] + [f"{n} procs" for n in sizes],
+        rows,
+        title=f"scaling study{f' [{app}]' if app else ''}: "
+              "execution time relative to BASIC at each size",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry: ``python -m repro.experiments.scaling``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--app", default="mp3d")
+    args = parser.parse_args(argv)
+    print(render(run(app=args.app, scale=args.scale), app=args.app))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Memory-hierarchy substrates: address map, caches, write buffers."""
+
+from repro.mem.addrmap import WORD_SIZE, AddressMap, AddressSpace
+
+__all__ = ["AddressMap", "AddressSpace", "WORD_SIZE"]

@@ -1,0 +1,72 @@
+"""Page-placement policies.
+
+The paper allocates "memory pages of size 4 Kbytes across nodes in a
+round-robin fashion based on the least significant bits of the virtual
+page number" (§4).  Round-robin spreads home-node load but ignores
+locality; the classic alternative in CC-NUMA systems of the era is
+*first-touch*, which homes each page at the node that first references
+it -- private data becomes node-local at the price of potential home
+hot spots for shared structures.  Both policies are provided so the
+placement choice can be studied (``repro.experiments.placement``).
+"""
+
+from __future__ import annotations
+
+
+class RoundRobinPlacement:
+    """§4's policy: page number modulo node count."""
+
+    name = "round-robin"
+
+    def __init__(self, n_nodes: int) -> None:
+        self._n_nodes = n_nodes
+
+    def home_of_page(self, page: int, toucher: int | None = None) -> int:
+        """The home node of ``page`` (static)."""
+        return page % self._n_nodes
+
+
+class FirstTouchPlacement:
+    """Home each page at the node that references it first.
+
+    When no toucher is known (e.g. static analysis asking for a home
+    before any access), the policy falls back to round-robin for that
+    page without recording it.
+    """
+
+    name = "first-touch"
+
+    def __init__(self, n_nodes: int) -> None:
+        self._n_nodes = n_nodes
+        self._table: dict[int, int] = {}
+
+    def home_of_page(self, page: int, toucher: int | None = None) -> int:
+        """The home node of ``page``, assigning it on first touch."""
+        home = self._table.get(page)
+        if home is not None:
+            return home
+        if toucher is None:
+            return page % self._n_nodes
+        self._table[page] = toucher
+        return toucher
+
+    @property
+    def assigned_pages(self) -> int:
+        """Pages with a recorded first toucher."""
+        return len(self._table)
+
+    def distribution(self) -> dict[int, int]:
+        """Pages homed per node (hot-spot diagnostics)."""
+        out: dict[int, int] = {}
+        for home in self._table.values():
+            out[home] = out.get(home, 0) + 1
+        return out
+
+
+def make_placement(kind: str, n_nodes: int):
+    """Factory: ``"round_robin"`` or ``"first_touch"``."""
+    if kind == "round_robin":
+        return RoundRobinPlacement(n_nodes)
+    if kind == "first_touch":
+        return FirstTouchPlacement(n_nodes)
+    raise ValueError(f"unknown page placement {kind!r}")

@@ -1,0 +1,85 @@
+"""The write cache of the competitive-update mechanism (paper §3.3).
+
+A small direct-mapped cache that allocates blocks on *writes only* and
+keeps a dirty/valid bit per 4-byte word.  Consecutive writes to the
+same block are combined; at a release, or when a block is victimized,
+the dirty words are sent to the home node in a single request
+(selective-word transmission).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WriteCacheEntry:
+    """One write-cache block with per-word dirty bits."""
+
+    block: int
+    dirty_words: set[int] = field(default_factory=set)
+    #: processor held an SLC copy when the entry was allocated; the
+    #: home uses this to decide whether the flusher stays a sharer.
+    had_copy: bool = False
+
+
+class WriteCache:
+    """Direct-mapped write-combining cache (default: four blocks)."""
+
+    def __init__(self, n_blocks: int) -> None:
+        if n_blocks < 1:
+            raise ValueError("write cache needs at least one block")
+        self._n_blocks = n_blocks
+        self._entries: dict[int, WriteCacheEntry] = {}
+        self.writes_combined = 0
+        self.allocations = 0
+
+    def _index(self, block: int) -> int:
+        return block % self._n_blocks
+
+    def lookup(self, block: int) -> WriteCacheEntry | None:
+        """The entry for ``block`` if resident."""
+        entry = self._entries.get(self._index(block))
+        if entry is not None and entry.block == block:
+            return entry
+        return None
+
+    def write(self, block: int, word: int, had_copy: bool) -> WriteCacheEntry | None:
+        """Record a write; returns a victimized entry needing a flush.
+
+        If ``block`` conflicts with a resident entry, that entry is
+        removed and returned so the controller can flush it.
+        """
+        idx = self._index(block)
+        entry = self._entries.get(idx)
+        victim = None
+        if entry is not None and entry.block != block:
+            victim = entry
+            entry = None
+            del self._entries[idx]
+        if entry is None:
+            entry = WriteCacheEntry(block=block, had_copy=had_copy)
+            self._entries[idx] = entry
+            self.allocations += 1
+        else:
+            self.writes_combined += 1
+        entry.dirty_words.add(word)
+        return victim
+
+    def remove(self, block: int) -> WriteCacheEntry | None:
+        """Remove the entry for ``block`` (flush or invalidation)."""
+        idx = self._index(block)
+        entry = self._entries.get(idx)
+        if entry is not None and entry.block == block:
+            del self._entries[idx]
+            return entry
+        return None
+
+    def drain(self) -> list[WriteCacheEntry]:
+        """Remove and return all entries (release-time flush)."""
+        entries = list(self._entries.values())
+        self._entries.clear()
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,33 @@
+"""Contention-free uniform-latency network (paper §4 default).
+
+Every node-to-node message takes a fixed 54 pclocks regardless of
+placement and load ("a contention-free uniform access time network
+with a node-to-node latency of 54 pclocks").  Node-internal contention
+(bus, memory, SLC) is modelled elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.config import NetworkConfig
+from repro.stats.counters import NetworkStats
+
+
+class UniformNetwork:
+    """Infinite-bandwidth interconnect with constant latency."""
+
+    def __init__(self, cfg: NetworkConfig, n_nodes: int, stats: NetworkStats) -> None:
+        self._latency = cfg.uniform_latency
+        self._n_nodes = n_nodes
+        self._stats = stats
+
+    def arrival_time(self, src: int, dst: int, size_bytes: int, ready: int) -> int:
+        """When a message departing at ``ready`` reaches ``dst``."""
+        if src == dst:
+            return ready
+        return ready + self._latency
+
+    def record(self, mtype_name: str, src: int, dst: int, size: int,
+               carries_data: bool) -> None:
+        """Account traffic (local messages never cross the network)."""
+        if src != dst:
+            self._stats.record(mtype_name, size, carries_data)

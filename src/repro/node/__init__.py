@@ -1,0 +1,6 @@
+"""Processing-node substrate: processor, bus/memory resources, assembly."""
+
+from repro.node.node import Node
+from repro.node.processor import Op, Processor
+
+__all__ = ["Node", "Op", "Processor"]

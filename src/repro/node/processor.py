@@ -1,0 +1,177 @@
+"""Blocking processor model.
+
+"Standard, off-the-shelf processors with blocking loads will do" (§2).
+The processor consumes a reference stream of operations:
+
+* ``('think', n)``        -- n pclocks of local computation (includes
+  instruction fetches and private-data accesses, which the paper
+  simulates as always hitting in the FLC),
+* ``('read', addr)``      -- shared read (blocking),
+* ``('write', addr)``     -- shared write (buffered under RC, blocking
+  under SC),
+* ``('acquire', addr)``   -- lock acquire,
+* ``('release', addr)``   -- lock release,
+* ``('barrier', bar_id)`` -- global barrier.
+
+Execution time decomposes into busy / read-stall / write-stall /
+acquire-stall / release-stall exactly as in Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.config import Consistency, SystemConfig
+from repro.core.cache_ctrl import CacheController
+from repro.sim.engine import SimulationError, Simulator
+from repro.stats.counters import ProcessorStats
+
+Op = tuple
+
+
+class Processor:
+    """One simulated processor driving a reference stream."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        cfg: SystemConfig,
+        cache: CacheController,
+        workload: Iterable[Op],
+        stats: ProcessorStats,
+        on_finish: Callable[[int], None],
+    ) -> None:
+        self.node_id = node_id
+        self._sim = sim
+        self._cfg = cfg
+        self._cache = cache
+        self._gen: Iterator[Op] = iter(workload)
+        self.stats = stats
+        self._on_finish = on_finish
+        self._sc = cfg.consistency is Consistency.SC
+        self.finished = False
+
+    def start(self) -> None:
+        """Begin issuing references at time 0."""
+        self._sim.at(self._sim.now, self._next)
+
+    # ------------------------------------------------------------------
+
+    def _next(self) -> None:
+        try:
+            op = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            self.stats.finish_time = self._sim.now
+            self._on_finish(self.node_id)
+            return
+        kind = op[0]
+        if kind == "think":
+            cycles = op[1]
+            self.stats.busy += cycles
+            self._sim.after(cycles, self._next)
+        elif kind == "read":
+            self._do_read(op[1])
+        elif kind == "write":
+            self._do_write(op[1])
+        elif kind == "acquire":
+            self._do_acquire(op[1])
+        elif kind == "release":
+            self._do_release(op[1])
+        elif kind == "barrier":
+            self._do_barrier(op[1])
+        else:
+            raise SimulationError(f"unknown workload op {op!r}")
+
+    # -- reads ----------------------------------------------------------
+
+    def _do_read(self, addr: int) -> None:
+        self.stats.shared_reads += 1
+        t0 = self._sim.now
+        self._cache.read(addr, lambda: self._read_done(t0))
+
+    def _read_done(self, t0: int) -> None:
+        dt = self._sim.now - t0
+        hit_cost = self._cfg.timing.flc_hit
+        self.stats.busy += min(dt, hit_cost)
+        self.stats.read_stall += max(0, dt - hit_cost)
+        self._next()
+
+    # -- writes ---------------------------------------------------------
+
+    def _do_write(self, addr: int) -> None:
+        self.stats.shared_writes += 1
+        if self._sc:
+            t0 = self._sim.now
+            self._cache.write_blocking(addr, lambda: self._write_done(t0))
+            return
+        if self._cache.can_buffer_write():
+            self._buffer_and_go(addr)
+        else:
+            t0 = self._sim.now
+            self._cache.when_write_space(lambda: self._write_retry(addr, t0))
+
+    def _write_retry(self, addr: int, t0: int) -> None:
+        if not self._cache.can_buffer_write():
+            self._cache.when_write_space(lambda: self._write_retry(addr, t0))
+            return
+        self.stats.write_stall += self._sim.now - t0
+        self._buffer_and_go(addr)
+
+    def _buffer_and_go(self, addr: int) -> None:
+        self._cache.buffer_write(addr)
+        self.stats.busy += self._cfg.timing.flc_hit
+        self._sim.after(self._cfg.timing.flc_hit, self._next)
+
+    def _write_done(self, t0: int) -> None:
+        dt = self._sim.now - t0
+        hit_cost = self._cfg.timing.flc_hit
+        self.stats.busy += min(dt, hit_cost)
+        self.stats.write_stall += max(0, dt - hit_cost)
+        self._next()
+
+    # -- synchronization --------------------------------------------------
+
+    def _do_acquire(self, addr: int) -> None:
+        self.stats.acquires += 1
+        t0 = self._sim.now
+        self._cache.acquire(addr, lambda: self._acquire_done(t0))
+
+    def _acquire_done(self, t0: int) -> None:
+        dt = self._sim.now - t0
+        hit_cost = self._cfg.timing.flc_hit
+        self.stats.busy += min(dt, hit_cost)
+        self.stats.acquire_stall += max(0, dt - hit_cost)
+        self._next()
+
+    def _do_release(self, addr: int) -> None:
+        self.stats.releases += 1
+        if self._sc:
+            t0 = self._sim.now
+            self._cache.release(addr, lambda: self._release_done(t0))
+        else:
+            # RCpc: the release is inserted and the processor continues
+            self._cache.release(addr)
+            self.stats.busy += self._cfg.timing.flc_hit
+            self._sim.after(self._cfg.timing.flc_hit, self._next)
+
+    def _release_done(self, t0: int) -> None:
+        dt = self._sim.now - t0
+        hit_cost = self._cfg.timing.flc_hit
+        self.stats.busy += min(dt, hit_cost)
+        self.stats.release_stall += max(0, dt - hit_cost)
+        self._next()
+
+    def _do_barrier(self, bar_id: int) -> None:
+        self.stats.barriers += 1
+        t0 = self._sim.now
+        self._cache.barrier(
+            bar_id, self._cfg.n_procs, lambda: self._barrier_done(t0)
+        )
+
+    def _barrier_done(self, t0: int) -> None:
+        # barrier wait is accounted as acquire stall, as in the paper's
+        # busy / read / acquire decomposition under RC
+        self.stats.acquire_stall += self._sim.now - t0
+        self._next()

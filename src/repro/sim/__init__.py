@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resource import FcfsResource
+
+__all__ = ["Simulator", "SimulationError", "FcfsResource"]

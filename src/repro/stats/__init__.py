@@ -1,0 +1,26 @@
+"""Statistics: time decomposition, miss classification, traffic,
+epoch sampling, and sharing-pattern analysis."""
+
+from repro.stats.classify import MissClassifier
+from repro.stats.counters import (
+    CacheStats,
+    MachineStats,
+    NetworkStats,
+    ProcessorStats,
+)
+from repro.stats.epochs import Epoch, EpochSampler, sparkline
+from repro.stats.sharing import Pattern, SharingProfile, analyze
+
+__all__ = [
+    "CacheStats",
+    "Epoch",
+    "EpochSampler",
+    "MachineStats",
+    "MissClassifier",
+    "NetworkStats",
+    "Pattern",
+    "ProcessorStats",
+    "SharingProfile",
+    "analyze",
+    "sparkline",
+]

@@ -1,0 +1,163 @@
+"""Execution-time decomposition and event counters.
+
+The paper decomposes execution time into busy time, read stall, write
+stall, acquire stall and release stall (Figures 2 and 3), reports miss
+rates as percentages of shared references (Table 2), and network
+traffic in bytes normalized to BASIC (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProcessorStats:
+    """Per-processor time decomposition and reference counts."""
+
+    busy: int = 0
+    read_stall: int = 0
+    write_stall: int = 0
+    acquire_stall: int = 0
+    release_stall: int = 0
+    shared_reads: int = 0
+    shared_writes: int = 0
+    acquires: int = 0
+    releases: int = 0
+    barriers: int = 0
+    finish_time: int = 0
+
+    @property
+    def shared_refs(self) -> int:
+        """Shared data references (reads + writes)."""
+        return self.shared_reads + self.shared_writes
+
+    @property
+    def total_time(self) -> int:
+        """Sum of all accounted time buckets."""
+        return (
+            self.busy
+            + self.read_stall
+            + self.write_stall
+            + self.acquire_stall
+            + self.release_stall
+        )
+
+
+@dataclass
+class CacheStats:
+    """Per-node cache and protocol event counters."""
+
+    demand_read_misses: int = 0
+    cold_misses: int = 0
+    replacement_misses: int = 0
+    coherence_misses: int = 0
+    #: demand reads that merged with an in-flight (prefetch) request.
+    late_prefetch_hits: int = 0
+    #: demand reads satisfied by store-to-load forwarding from the FLWB.
+    flwb_forwards: int = 0
+    prefetches_issued: int = 0
+    useful_prefetches: int = 0
+    ownership_requests: int = 0
+    invalidations_received: int = 0
+    updates_received: int = 0
+    updates_dropped: int = 0
+    write_cache_flushes: int = 0
+    writebacks: int = 0
+    read_miss_latency_total: int = 0
+    read_miss_latency_count: int = 0
+
+    @property
+    def avg_read_miss_latency(self) -> float:
+        """Mean demand-read-miss service time in pclocks."""
+        if not self.read_miss_latency_count:
+            return 0.0
+        return self.read_miss_latency_total / self.read_miss_latency_count
+
+
+@dataclass
+class NetworkStats:
+    """Global interconnect traffic counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    data_messages: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def record(self, mtype_name: str, size: int, carries_data: bool) -> None:
+        """Account one message crossing the network."""
+        self.messages += 1
+        self.bytes += size
+        if carries_data:
+            self.data_messages += 1
+        self.by_type[mtype_name] = self.by_type.get(mtype_name, 0) + 1
+
+
+@dataclass
+class MachineStats:
+    """All statistics for one simulation run."""
+
+    procs: list[ProcessorStats]
+    caches: list[CacheStats]
+    network: NetworkStats = field(default_factory=NetworkStats)
+    execution_time: int = 0
+
+    @classmethod
+    def for_nodes(cls, n: int) -> "MachineStats":
+        """Fresh statistics for an ``n``-node machine."""
+        return cls(
+            procs=[ProcessorStats() for _ in range(n)],
+            caches=[CacheStats() for _ in range(n)],
+        )
+
+    # -- aggregates used by the experiment drivers ---------------------
+
+    def _mean(self, attr: str) -> float:
+        return sum(getattr(p, attr) for p in self.procs) / len(self.procs)
+
+    @property
+    def mean_busy(self) -> float:
+        """Average per-processor busy time."""
+        return self._mean("busy")
+
+    @property
+    def mean_read_stall(self) -> float:
+        """Average per-processor read-stall time."""
+        return self._mean("read_stall")
+
+    @property
+    def mean_write_stall(self) -> float:
+        """Average per-processor write-stall time."""
+        return self._mean("write_stall")
+
+    @property
+    def mean_acquire_stall(self) -> float:
+        """Average per-processor acquire-stall time (incl. barriers)."""
+        return self._mean("acquire_stall")
+
+    @property
+    def mean_release_stall(self) -> float:
+        """Average per-processor release-stall time."""
+        return self._mean("release_stall")
+
+    @property
+    def total_shared_refs(self) -> int:
+        """Machine-wide shared data references."""
+        return sum(p.shared_refs for p in self.procs)
+
+    def miss_rate(self, component: str) -> float:
+        """Machine-wide miss-rate component in percent of shared refs.
+
+        ``component`` is one of ``cold``, ``replacement``, ``coherence``
+        or ``total``.
+        """
+        refs = self.total_shared_refs
+        if not refs:
+            return 0.0
+        key = {
+            "cold": "cold_misses",
+            "replacement": "replacement_misses",
+            "coherence": "coherence_misses",
+            "total": "demand_read_misses",
+        }[component]
+        return 100.0 * sum(getattr(c, key) for c in self.caches) / refs

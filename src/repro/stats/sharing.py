@@ -1,0 +1,143 @@
+"""Sharing-pattern analysis of reference streams.
+
+Classifies every shared block by how the processors use it -- the
+taxonomy the protocol extensions are built around (paper §3, refs
+[2, 12]):
+
+* ``PRIVATE``           -- touched by one processor only,
+* ``READ_ONLY``         -- multiple readers, no writer,
+* ``MIGRATORY``         -- several processors both read *and* write
+  it, in read-modify-write bursts (the §3.2 target),
+* ``PRODUCER_CONSUMER`` -- written by few processors, read by a
+  (mostly) disjoint, larger reader set (what CW keeps alive),
+* ``READ_WRITE``        -- everything else (irregular read-write
+  sharing, including false sharing).
+
+The analysis is static (over the reference streams, before timing
+simulation), which makes it ideal for validating that a synthetic
+workload carries the sharing signature it claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.mem.addrmap import AddressMap
+
+
+class Pattern(Enum):
+    """Block-level sharing pattern."""
+
+    PRIVATE = "private"
+    READ_ONLY = "read-only"
+    MIGRATORY = "migratory"
+    PRODUCER_CONSUMER = "producer-consumer"
+    READ_WRITE = "read-write"
+
+
+@dataclass
+class BlockUsage:
+    """Per-block access facts gathered from the streams."""
+
+    readers: set[int] = field(default_factory=set)
+    writers: set[int] = field(default_factory=set)
+    reads: int = 0
+    writes: int = 0
+    #: per processor: number of read->write bursts (a write following
+    #: a read by the same processor with no other access in between
+    #: *in its own stream*)
+    rmw_bursts: Counter = field(default_factory=Counter)
+
+    @property
+    def sharers(self) -> set[int]:
+        """All processors that touch the block."""
+        return self.readers | self.writers
+
+
+def collect_usage(
+    streams: Sequence[Iterable[tuple]], amap: AddressMap
+) -> dict[int, BlockUsage]:
+    """Gather per-block usage facts from per-processor op streams."""
+    usage: dict[int, BlockUsage] = {}
+    for pid, ops in enumerate(streams):
+        last_read_block: int | None = None
+        for op in ops:
+            kind = op[0]
+            if kind not in ("read", "write"):
+                if kind in ("acquire", "release", "barrier"):
+                    last_read_block = None
+                continue
+            block = amap.block_of(op[1])
+            info = usage.get(block)
+            if info is None:
+                info = BlockUsage()
+                usage[block] = info
+            if kind == "read":
+                info.readers.add(pid)
+                info.reads += 1
+                last_read_block = block
+            else:
+                info.writers.add(pid)
+                info.writes += 1
+                if last_read_block == block:
+                    info.rmw_bursts[pid] += 1
+                last_read_block = None
+    return usage
+
+
+def classify_block(info: BlockUsage) -> Pattern:
+    """Assign one of the five patterns to a block."""
+    if len(info.sharers) <= 1:
+        return Pattern.PRIVATE
+    if not info.writers:
+        return Pattern.READ_ONLY
+    rw_procs = info.readers & info.writers
+    if len(rw_procs) >= 2 and sum(info.rmw_bursts.values()) >= info.writes * 0.5:
+        return Pattern.MIGRATORY
+    pure_readers = info.readers - info.writers
+    if info.writers and len(pure_readers) >= max(1, len(info.writers)):
+        return Pattern.PRODUCER_CONSUMER
+    return Pattern.READ_WRITE
+
+
+@dataclass
+class SharingProfile:
+    """Machine-wide sharing census of one workload."""
+
+    blocks: dict[int, Pattern]
+    usage: dict[int, BlockUsage]
+
+    def census(self) -> Counter:
+        """Blocks per pattern."""
+        return Counter(self.blocks.values())
+
+    def reference_census(self) -> Counter:
+        """References (reads+writes) per pattern -- what the memory
+        system actually sees."""
+        refs: Counter = Counter()
+        for block, pattern in self.blocks.items():
+            info = self.usage[block]
+            refs[pattern] += info.reads + info.writes
+        return refs
+
+    def fraction_of_refs(self, pattern: Pattern) -> float:
+        """Share of all references going to blocks of ``pattern``."""
+        refs = self.reference_census()
+        total = sum(refs.values())
+        return refs[pattern] / total if total else 0.0
+
+    def blocks_of(self, pattern: Pattern) -> list[int]:
+        """All blocks classified as ``pattern``."""
+        return [b for b, p in self.blocks.items() if p is pattern]
+
+
+def analyze(
+    streams: Sequence[Iterable[tuple]], amap: AddressMap
+) -> SharingProfile:
+    """Classify every block touched by the streams."""
+    usage = collect_usage(streams, amap)
+    blocks = {block: classify_block(info) for block, info in usage.items()}
+    return SharingProfile(blocks=blocks, usage=usage)

@@ -1,0 +1,6 @@
+"""Synchronization hardware: queue-based locks and barriers at memory."""
+
+from repro.sync.barriers import BarrierTable
+from repro.sync.locks import LockTable
+
+__all__ = ["BarrierTable", "LockTable"]

@@ -1,0 +1,121 @@
+"""Top-level machine: nodes + interconnect + message routing.
+
+Builds the 16-node CC-NUMA machine of paper §2/§4, wires the selected
+protocol extensions into every node, runs a set of per-processor
+reference streams to completion and returns the collected statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import SystemConfig
+from repro.core.messages import HOME_BOUND, Message
+from repro.mem.addrmap import AddressMap
+from repro.mem.placement import make_placement
+from repro.network import build_network
+from repro.node.node import Node
+from repro.node.processor import Op, Processor
+from repro.sim.engine import SimulationError, Simulator
+from repro.stats.counters import MachineStats
+
+
+class System:
+    """One configured multiprocessor ready to run workloads."""
+
+    def __init__(self, cfg: SystemConfig) -> None:
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.stats = MachineStats.for_nodes(cfg.n_procs)
+        self.amap = AddressMap(
+            block_size=cfg.cache.block_size,
+            page_size=cfg.cache.page_size,
+            n_nodes=cfg.n_procs,
+        )
+        self.network = build_network(cfg.network, cfg.n_procs, self.stats.network)
+        self.placement = make_placement(cfg.page_placement, cfg.n_procs)
+        self.nodes = [
+            Node(
+                i, self.sim, cfg, self.amap, self._send,
+                self.stats.caches[i], placement=self.placement,
+            )
+            for i in range(cfg.n_procs)
+        ]
+        self.processors: list[Processor] = []
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    # message transport
+    # ------------------------------------------------------------------
+
+    def _send(self, msg: Message, ready: int) -> None:
+        """Route a message: source bus -> network -> destination bus."""
+        t_out = self.nodes[msg.src].bus.access(ready, msg.size_bytes)
+        self.network.record(
+            msg.mtype.name, msg.src, msg.dst, msg.size_bytes, msg.carries_data
+        )
+        arrive = self.network.arrival_time(msg.src, msg.dst, msg.size_bytes, t_out)
+        if msg.src == msg.dst:
+            # local: a single traversal of the shared node bus
+            self.sim.at(arrive, self._dispatch, msg, arrive)
+        else:
+            self.sim.at(arrive, self._deliver_remote, msg)
+
+    def _deliver_remote(self, msg: Message) -> None:
+        t_in = self.nodes[msg.dst].bus.access(self.sim.now, msg.size_bytes)
+        self.sim.at(t_in, self._dispatch, msg, t_in)
+
+    def _dispatch(self, msg: Message, t: int) -> None:
+        node = self.nodes[msg.dst]
+        if msg.mtype in HOME_BOUND:
+            node.home.deliver(msg, t)
+        else:
+            node.cache.deliver(msg, t)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def _proc_finished(self, node_id: int) -> None:
+        self._finished += 1
+
+    def run(
+        self,
+        workloads: list[Iterable[Op]],
+        max_events: int | None = 200_000_000,
+    ) -> MachineStats:
+        """Run one reference stream per processor to completion."""
+        if len(workloads) != self.cfg.n_procs:
+            raise ValueError(
+                f"need {self.cfg.n_procs} workload streams, got {len(workloads)}"
+            )
+        self.processors = [
+            Processor(
+                i,
+                self.sim,
+                self.cfg,
+                self.nodes[i].cache,
+                workloads[i],
+                self.stats.procs[i],
+                self._proc_finished,
+            )
+            for i in range(self.cfg.n_procs)
+        ]
+        for proc in self.processors:
+            proc.start()
+        self.sim.run(max_events=max_events)
+        if self._finished != self.cfg.n_procs:
+            stuck = [p.node_id for p in self.processors if not p.finished]
+            raise SimulationError(
+                f"simulation quiesced with processors {stuck} unfinished "
+                f"at t={self.sim.now} (deadlock or lost message)"
+            )
+        self.stats.execution_time = max(
+            p.finish_time for p in self.stats.procs
+        )
+        return self.stats
+
+
+def run_system(cfg: SystemConfig, workloads: list[Iterable[Op]]) -> MachineStats:
+    """Convenience helper: build a system, run it, return statistics."""
+    return System(cfg).run(workloads)

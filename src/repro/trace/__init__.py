@@ -1,0 +1,12 @@
+"""Tracing: protocol-message recording and reference-stream files."""
+
+from repro.trace.recorder import MessageTracer, TraceRecord
+from repro.trace.streams import TraceFormatError, load_streams, save_streams
+
+__all__ = [
+    "MessageTracer",
+    "TraceFormatError",
+    "TraceRecord",
+    "load_streams",
+    "save_streams",
+]

@@ -1,0 +1,107 @@
+"""Reference-stream (trace) files: save, load, and drive the simulator.
+
+The simulator is execution-driven by default (the workload generators
+produce streams on the fly), but the same machine model runs
+*trace-driven* from files.  The format is plain text, one op per line,
+with per-processor sections::
+
+    # repro-trace v1  procs=16
+    P0
+    t 4            # think 4 cycles
+    r 0x2000       # shared read
+    w 0x2004       # shared write
+    a 0x8000       # acquire lock
+    l 0x8000       # release lock
+    b 0            # barrier id 0
+    P1
+    ...
+
+Addresses accept decimal or 0x-prefixed hex.  Comments (``#``) and
+blank lines are ignored.  This lets externally captured traces (e.g.
+from an instrumented application) drive the exact protocol models.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+MAGIC = "# repro-trace v1"
+
+_OP_TO_CODE = {
+    "think": "t",
+    "read": "r",
+    "write": "w",
+    "acquire": "a",
+    "release": "l",
+    "barrier": "b",
+}
+_CODE_TO_OP = {v: k for k, v in _OP_TO_CODE.items()}
+_HEX_OPS = {"read", "write", "acquire", "release"}
+
+
+class TraceFormatError(ValueError):
+    """The trace file is malformed."""
+
+
+def save_streams(streams: Sequence[Iterable[tuple]], path: str | Path) -> None:
+    """Write per-processor reference streams to a trace file."""
+    lines = [f"{MAGIC}  procs={len(streams)}"]
+    for pid, ops in enumerate(streams):
+        lines.append(f"P{pid}")
+        for op in ops:
+            kind = op[0]
+            code = _OP_TO_CODE.get(kind)
+            if code is None:
+                raise TraceFormatError(f"cannot serialize op {op!r}")
+            value = op[1]
+            if kind in _HEX_OPS:
+                lines.append(f"{code} {value:#x}")
+            else:
+                lines.append(f"{code} {value}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_streams(path: str | Path) -> list[list[tuple]]:
+    """Read a trace file back into per-processor op lists."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(MAGIC):
+        raise TraceFormatError(f"{path}: missing '{MAGIC}' header")
+    try:
+        n_procs = int(lines[0].split("procs=")[1])
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: bad header {lines[0]!r}") from exc
+    streams: list[list[tuple]] = [[] for _ in range(n_procs)]
+    current: list[tuple] | None = None
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("P"):
+            try:
+                pid = int(line[1:])
+                current = streams[pid]
+            except (ValueError, IndexError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: bad processor header {line!r}"
+                ) from exc
+            continue
+        if current is None:
+            raise TraceFormatError(
+                f"{path}:{lineno}: op before any processor header"
+            )
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in _CODE_TO_OP:
+            raise TraceFormatError(f"{path}:{lineno}: bad op line {line!r}")
+        kind = _CODE_TO_OP[parts[0]]
+        try:
+            value = int(parts[1], 0)
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"{path}:{lineno}: bad operand {parts[1]!r}"
+            ) from exc
+        if value < 0:
+            raise TraceFormatError(f"{path}:{lineno}: negative operand")
+        current.append((kind, value))
+    return streams

@@ -1,0 +1,122 @@
+"""Cholesky-like workload: sparse factorization with a task queue.
+
+Cholesky (SPLASH, bcsstk14 in the paper) combines the two behaviours
+the extensions split between them:
+
+* a high cold miss rate throughout the run (direct method; Table 2:
+  P cuts it from ~0.90 % to ~0.19 %),
+* *migratory* sharing on the dynamic task-queue head and on the
+  destination columns that successive processors update in turn, each
+  inside the column's critical section (ref [12] cuts 69-96 % of
+  Cholesky's ownership requests with M).
+
+Synthetic structure: columns are processed in dependency-respecting
+waves (the real program's task queue only releases a column once all
+its updates have landed).  A task claims work through a lock-protected
+global counter, reads its source column (sequential blocks, often
+cold), and applies read-modify-write updates to destination columns in
+later waves, each under that column's lock -- so any destination
+column is written by a chain of different processors in turn, the
+canonical migratory pattern, with no concurrent read-write overlap.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
+
+#: cache blocks per column (a 192-byte sequential run for prefetching)
+COL_BLOCKS = 6
+#: destination columns updated per task
+N_DEST = 3
+#: lock spacing in bytes (spreads lock home nodes across pages)
+LOCK_STRIDE = 256
+
+
+def streams(
+    cfg: SystemConfig,
+    scale: float = 1.0,
+    seed: int = 1994,
+    n_cols: int = 192,
+) -> list[list[Op]]:
+    """Build one Cholesky-like reference stream per processor."""
+    n = cfg.n_procs
+    n_cols = scaled(n_cols, scale, minimum=6 * n)
+    wave = 2 * n  # columns processed between barriers
+
+    layout = WorkloadLayout(cfg)
+    space = layout.space()
+    cols = space.alloc_page_aligned("columns", n_cols * COL_BLOCKS * BLOCK)
+    col_locks = space.alloc_page_aligned("col_locks", n_cols * LOCK_STRIDE)
+    queue_lock = space.alloc_page_aligned("queue_lock", BLOCK)
+    queue_head = space.alloc_page_aligned("queue_head", BLOCK)
+
+    def col(j: int) -> int:
+        return cols + j * COL_BLOCKS * BLOCK
+
+    def lock_of(j: int) -> int:
+        return col_locks + j * LOCK_STRIDE
+
+    # destination columns: always at least one wave later.  With these
+    # offsets every column d is updated twice by processor (d + n/2)
+    # mod n in successive waves and once by its own task's processor,
+    # then read and factored by the latter -- a migratory write chain
+    # across two processors with no concurrent read-write overlap.
+    dests = {
+        j: [
+            d
+            for d in (
+                j + wave + n // 2,
+                j + 2 * wave + n // 2,
+                j + 3 * wave,
+            )[:N_DEST]
+            if d < n_cols
+        ]
+        for j in range(n_cols)
+    }
+
+    builders = [StreamBuilder(seed=seed * 13 + pid) for pid in range(n)]
+    bar = 0
+    for w0 in range(0, n_cols, wave):
+        for j in range(w0, min(w0 + wave, n_cols)):
+            sb = builders[j % n]
+            if (j // n) % 2 == 0:
+                # claim a batch of tasks from the shared queue
+                # (migratory read/write on the queue head)
+                sb.acquire(queue_lock)
+                sb.rmw(queue_head, think=2)
+                sb.release(queue_lock)
+            # read the source column: sequential, often cold
+            for b in range(COL_BLOCKS):
+                addr = col(j) + b * BLOCK
+                sb.read(addr)
+                sb.read(addr + 8)
+                sb.think(6)
+            sb.think(12)
+            # update destination columns inside their critical
+            # sections (migratory read/write sequences)
+            for d in dests[j]:
+                for b in range(COL_BLOCKS):
+                    sb.read(col(j) + b * BLOCK)
+                sb.acquire(lock_of(d))
+                for b in range(COL_BLOCKS):
+                    addr = col(d) + b * BLOCK
+                    sb.read(addr)
+                    sb.read(addr + 8)
+                    sb.read(addr + 16)
+                    sb.write(addr)
+                    sb.write(addr + 8)
+                    sb.write(addr + 16)
+                    sb.think(4)
+                sb.release(lock_of(d))
+                sb.think(16)
+            # factor the column in place once its updates are done
+            for b in range(COL_BLOCKS):
+                addr = col(j) + b * BLOCK
+                sb.read(addr)
+                sb.write(addr)
+            sb.think(20)
+        for b in builders:
+            b.barrier(bar)
+        bar += 1
+    return [b.ops for b in builders]

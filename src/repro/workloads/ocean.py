@@ -1,0 +1,106 @@
+"""Ocean-like workload: iterative grid relaxation with boundary sharing.
+
+Ocean (Stanford, 128x128 grid in the paper) performs red-black
+Gauss-Seidel sweeps over a partitioned grid.  Its signature:
+
+* interior points hit after the first sweep (infinite SLC), so cold
+  misses are confined to the start,
+* coherence misses come from *boundary rows* exchanged with the
+  neighbouring partitions every sweep, plus *false sharing* on cache
+  blocks that straddle a partition boundary -- the paper speculates
+  these "false sharing interactions cause blocks to become migratory
+  at times" (§5.2),
+* spatial locality across misses is poor (column-order phases, widely
+  scattered boundary misses), so adaptive prefetching adapts its
+  degree down and P barely reduces Ocean's read stall (§5.1),
+* the interleaved reads and writes on boundary blocks are exactly the
+  pattern where a competitive-update protocol keeps copies alive, so
+  CW removes most of Ocean's coherence misses.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
+
+#: cache blocks per grid row
+ROW_BLOCKS = 16
+
+
+def streams(
+    cfg: SystemConfig,
+    scale: float = 1.0,
+    seed: int = 1994,
+    rows_per_proc: int = 6,
+    sweeps: int = 16,
+) -> list[list[Op]]:
+    """Build one Ocean-like reference stream per processor."""
+    n = cfg.n_procs
+    rows_per_proc = scaled(rows_per_proc, scale, minimum=2)
+    sweeps = scaled(sweeps, scale, minimum=2)
+
+    layout = WorkloadLayout(cfg)
+    space = layout.space()
+    grid = space.alloc_page_aligned(
+        "grid", n * rows_per_proc * ROW_BLOCKS * BLOCK
+    )
+    # one straddling block per internal partition boundary: the low
+    # words belong to processor p, the high words to processor p+1
+    boundary = space.alloc_page_aligned("boundary", max(n - 1, 1) * BLOCK)
+
+    def row(r: int) -> int:
+        return grid + r * ROW_BLOCKS * BLOCK
+
+    out: list[list[Op]] = []
+    for pid in range(n):
+        sb = StreamBuilder(seed=seed * 37 + pid)
+        first = pid * rows_per_proc
+        last = first + rows_per_proc - 1
+        bar = 0
+        for sweep in range(sweeps):
+            col_phase = sweep % 2 == 1
+            # interior relaxation over the owned rows
+            for r in range(first, last + 1):
+                if col_phase:
+                    # column-order traversal: block stride breaks the
+                    # sequential pattern P relies on
+                    order = [
+                        (b * 7) % ROW_BLOCKS for b in range(ROW_BLOCKS)
+                    ]
+                else:
+                    order = list(range(ROW_BLOCKS))
+                for b in order:
+                    addr = row(r) + b * BLOCK
+                    sb.read(addr)
+                    sb.read(addr + 8)
+                    sb.write(addr)
+                    sb.think(8)
+                # boundary blocks straddling the partition: every row
+                # re-reads this processor's half, and the edge rows
+                # write it.  The frequent reads interleave with the
+                # neighbour's (infrequent) update flushes, so copies
+                # survive under CW but ping-pong under write-invalidate.
+                writes_boundary = r in (first, last)
+                for nb_block, lo in ((pid - 1, False), (pid, True)):
+                    if 0 <= nb_block < n - 1:
+                        baddr = boundary + nb_block * BLOCK + (
+                            0 if lo else 16
+                        )
+                        sb.read(baddr)
+                        if writes_boundary:
+                            sb.write(baddr)
+                sb.think(4)
+            # read the neighbours' edge rows: scattered accesses to
+            # blocks the neighbour rewrote last sweep
+            for nb_row, step in (
+                (first - 1, 5),
+                (last + 1, 3),
+            ):
+                if 0 <= nb_row < n * rows_per_proc:
+                    for b in range(0, ROW_BLOCKS, step):
+                        sb.read(row(nb_row) + b * BLOCK)
+                    sb.think(4)
+            sb.barrier(bar)
+            bar += 1
+        out.append(sb.ops)
+    return out

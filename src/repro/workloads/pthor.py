@@ -1,0 +1,92 @@
+"""PTHOR-like workload: distributed-time logic simulation (extension).
+
+PTHOR is the sixth program of the SPLASH suite used by the paper's
+prefetching study (ref [3]: "six benchmark programs from the SPLASH
+suite (five of them are used in this paper)").  It is included here as
+an *extension* beyond the paper's five applications because it makes a
+useful contrast case:
+
+* circuit *elements* are evaluated by whichever processor dequeues
+  them -- element state is strongly **migratory** (M's best case),
+* element-to-element connectivity is irregular: the reference stream
+  has almost **no sequential locality**, so adaptive prefetching turns
+  itself off instead of spraying useless prefetches (the adaptation
+  story of §3.1),
+* per-processor task queues with stealing produce lock traffic.
+
+Synthetic structure, per simulation phase: each processor pops tasks
+from its queue (lock + migratory head counter), evaluates elements --
+read-modify-write of the element record, reads of the (pseudo-random)
+fan-in elements' output blocks -- and occasionally pushes work to a
+neighbour's queue; a barrier ends the phase.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
+
+#: cache blocks per element record (state + output)
+ELEM_BLOCKS = 2
+#: fan-in nets read per element evaluation
+FANIN = 3
+
+
+def streams(
+    cfg: SystemConfig,
+    scale: float = 1.0,
+    seed: int = 1994,
+    n_elements: int = 96,
+    phases: int = 6,
+    tasks_per_phase: int = 10,
+) -> list[list[Op]]:
+    """Build one PTHOR-like reference stream per processor."""
+    n = cfg.n_procs
+    n_elements = scaled(n_elements, scale, minimum=2 * n)
+    phases = scaled(phases, scale, minimum=2)
+    tasks_per_phase = scaled(tasks_per_phase, scale, minimum=2)
+
+    layout = WorkloadLayout(cfg)
+    space = layout.space()
+    elems = space.alloc_page_aligned("elements", n_elements * ELEM_BLOCKS * BLOCK)
+    queues = space.alloc_page_aligned("queues", n * BLOCK)
+    locks = space.alloc_page_aligned("queue_locks", n * 256)
+
+    def elem(e: int) -> int:
+        return elems + e * ELEM_BLOCKS * BLOCK
+
+    out: list[list[Op]] = []
+    for pid in range(n):
+        sb = StreamBuilder(seed=seed * 41 + pid)
+        bar = 0
+        for phase in range(phases):
+            for task in range(tasks_per_phase):
+                # pop a task from the local queue (migratory head)
+                sb.acquire(locks + pid * 256)
+                sb.rmw(queues + pid * BLOCK, think=2)
+                sb.release(locks + pid * 256)
+                # the element migrates: in a Chandy-Misra simulator any
+                # processor may end up evaluating any element, so each
+                # element is re-evaluated by a different processor in
+                # successive phases
+                e = (task * n + pid + phase * 5) % n_elements
+                # evaluate: read fan-in outputs (irregular, no
+                # sequential locality), then update the element record
+                for k in range(FANIN):
+                    src = (e * 17 + k * 71 + phase * 13) % n_elements
+                    sb.read(elem(src) + BLOCK)  # the output block
+                    sb.think(8)
+                for b in range(ELEM_BLOCKS):
+                    sb.rmw(elem(e) + b * BLOCK, think=6)
+                sb.think(18)
+                # sometimes schedule a follower on a neighbour's queue
+                if sb.rng.random() < 0.25:
+                    victim = sb.rng.randrange(n)
+                    sb.acquire(locks + victim * 256)
+                    sb.rmw(queues + victim * BLOCK, think=2)
+                    sb.release(locks + victim * 256)
+                    sb.think(6)
+            sb.barrier(bar)
+            bar += 1
+        out.append(sb.ops)
+    return out

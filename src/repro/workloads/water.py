@@ -1,0 +1,108 @@
+"""Water-like workload: cutoff molecular dynamics.
+
+Water (SPLASH, 288 molecules / 4 steps in the paper) computes
+intermolecular forces: each processor owns a set of molecules, reads
+the *positions* of molecules within a cutoff radius over and over
+(read sharing with very high reuse, so miss rates are low -- Table 2
+shows Water with ~0.04 % cold and ~0.6 % coherence misses), and
+accumulates into per-molecule *force* records inside per-molecule
+critical sections -- migratory sharing that the M optimization targets
+(ref [12] cuts most of Water's ownership requests).
+
+Synthetic structure, per time step:
+
+* force phase: for each owned molecule, many interactions against a
+  small, persistent neighbour set; each interaction re-reads the
+  neighbour's position blocks and occasionally updates the neighbour's
+  force record under its lock,
+* barrier,
+* update phase: the owner folds the force into the position (writes),
+* barrier.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
+
+#: cache blocks per molecule position record
+POS_BLOCKS = 2
+#: interactions computed per owned molecule per step
+INTERACTIONS = 40
+
+
+def streams(
+    cfg: SystemConfig,
+    scale: float = 1.0,
+    seed: int = 1994,
+    mols_per_proc: int = 4,
+    time_steps: int = 3,
+    neighbours: int = 4,
+) -> list[list[Op]]:
+    """Build one Water-like reference stream per processor."""
+    n = cfg.n_procs
+    mols_per_proc = scaled(mols_per_proc, scale, minimum=2)
+    time_steps = scaled(time_steps, scale, minimum=1)
+    n_mols = n * mols_per_proc
+
+    layout = WorkloadLayout(cfg)
+    space = layout.space()
+    pos = space.alloc_page_aligned("positions", n_mols * POS_BLOCKS * BLOCK)
+    force = space.alloc_page_aligned("forces", n_mols * BLOCK)
+    locks = space.alloc_page_aligned("locks", n_mols * BLOCK)
+
+    def pos_of(m: int) -> int:
+        return pos + m * POS_BLOCKS * BLOCK
+
+    def force_of(m: int) -> int:
+        return force + m * BLOCK
+
+    def lock_of(m: int) -> int:
+        return locks + m * BLOCK
+
+    out: list[list[Op]] = []
+    for pid in range(n):
+        sb = StreamBuilder(seed=seed * 29 + pid)
+        owned = [pid * mols_per_proc + i for i in range(mols_per_proc)]
+        # persistent cutoff neighbour set (spatial locality of MD)
+        neigh = {
+            m: sorted(
+                sb.rng.randrange(n_mols)
+                for _ in range(neighbours)
+            )
+            for m in owned
+        }
+        bar = 0
+        for step in range(time_steps):
+            for m in owned:
+                for _ in range(INTERACTIONS):
+                    j = sb.rng.choice(neigh[m])
+                    # re-read the neighbour's position (high reuse)
+                    for b in range(POS_BLOCKS):
+                        sb.read(pos_of(j) + b * BLOCK)
+                        sb.read(pos_of(j) + b * BLOCK + 8)
+                    sb.think(26)
+                    if sb.rng.random() < 0.06:
+                        # accumulate into the neighbour's force record
+                        # inside its critical section (migratory)
+                        sb.acquire(lock_of(j))
+                        sb.rmw(force_of(j), think=1)
+                        sb.rmw(force_of(j) + 8, think=1)
+                        sb.release(lock_of(j))
+                # fold the own contribution
+                sb.acquire(lock_of(m))
+                sb.rmw(force_of(m), think=2)
+                sb.release(lock_of(m))
+            sb.barrier(bar)
+            bar += 1
+            # update phase: integrate positions of owned molecules
+            for m in owned:
+                sb.read(force_of(m))
+                for b in range(POS_BLOCKS):
+                    sb.read(pos_of(m) + b * BLOCK)
+                    sb.write(pos_of(m) + b * BLOCK)
+                sb.think(8)
+            sb.barrier(bar)
+            bar += 1
+        out.append(sb.ops)
+    return out

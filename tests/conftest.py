@@ -1,0 +1,57 @@
+"""Shared test helpers: tiny machines and hand-written reference streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, Consistency, NetworkConfig, SystemConfig
+from repro.core.invariants import check_all
+from repro.system import System
+
+#: one 32-byte block per "slot" in hand-written tests
+BLOCK = 32
+
+
+def tiny_config(
+    protocol: str = "BASIC",
+    consistency: Consistency = Consistency.RC,
+    n_procs: int = 4,
+    slc_size: int | None = None,
+    network: NetworkConfig | None = None,
+    **cache_kw,
+) -> SystemConfig:
+    """A small machine for protocol microtests."""
+    return SystemConfig(
+        n_procs=n_procs,
+        consistency=consistency,
+        cache=CacheConfig(slc_size=slc_size, **cache_kw),
+        network=network or NetworkConfig(),
+    ).with_protocol(protocol)
+
+
+def run_streams(cfg: SystemConfig, streams, check: bool = True) -> System:
+    """Run per-processor op lists to completion (+ invariant check)."""
+    system = System(cfg)
+    system.run(streams)
+    if check:
+        check_all(system)
+    return system
+
+
+def idle(n_ops: int = 0):
+    """An empty stream (a processor that does nothing)."""
+    return []
+
+
+def pad_streams(streams, n_procs):
+    """Extend a partial stream list with idle processors."""
+    out = list(streams)
+    while len(out) < n_procs:
+        out.append([])
+    return out
+
+
+@pytest.fixture
+def rc4():
+    """4-processor RC BASIC machine config."""
+    return tiny_config()

@@ -1,0 +1,101 @@
+"""Unit and property tests for address mapping and allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.addrmap import WORD_SIZE, AddressMap, AddressSpace
+
+AMAP = AddressMap(block_size=32, page_size=4096, n_nodes=16)
+
+
+def test_block_arithmetic():
+    assert AMAP.block_of(0) == 0
+    assert AMAP.block_of(31) == 0
+    assert AMAP.block_of(32) == 1
+    assert AMAP.block_base(3) == 96
+
+
+def test_word_of():
+    assert AMAP.word_of(0) == 0
+    assert AMAP.word_of(4) == 1
+    assert AMAP.word_of(31) == 7
+    assert AMAP.word_of(32) == 0
+    assert AMAP.words_per_block() == 8
+
+
+def test_round_robin_home_placement():
+    # consecutive pages rotate around the nodes
+    for page in range(64):
+        addr = page * 4096
+        assert AMAP.home_of(addr) == page % 16
+
+
+def test_home_consistent_between_block_and_addr():
+    for addr in (0, 100, 4096, 123456):
+        assert AMAP.home_of(addr) == AMAP.home_of_block(AMAP.block_of(addr))
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_block_contains_its_base(addr):
+    block = AMAP.block_of(addr)
+    base = AMAP.block_base(block)
+    assert base <= addr < base + 32
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_word_index_in_range(addr):
+    assert 0 <= AMAP.word_of(addr) < 32 // WORD_SIZE
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_home_in_range(addr):
+    assert 0 <= AMAP.home_of(addr) < 16
+
+
+class TestAddressSpace:
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(AMAP)
+        a = space.alloc("a", 100)
+        b = space.alloc("b", 200)
+        assert a + 100 <= b
+
+    def test_block_alignment_default(self):
+        space = AddressSpace(AMAP)
+        space.alloc("x", 33)
+        y = space.alloc("y", 10)
+        assert y % 32 == 0
+
+    def test_page_alignment(self):
+        space = AddressSpace(AMAP)
+        space.alloc("x", 1)
+        y = space.alloc_page_aligned("y", 10)
+        assert y % 4096 == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(AMAP)
+        space.alloc("x", 1)
+        with pytest.raises(ValueError):
+            space.alloc("x", 1)
+
+    def test_region_lookup(self):
+        space = AddressSpace(AMAP)
+        base = space.alloc("r", 64)
+        assert space.region("r") == (base, 64)
+
+    def test_bad_sizes_rejected(self):
+        space = AddressSpace(AMAP)
+        with pytest.raises(ValueError):
+            space.alloc("zero", 0)
+        with pytest.raises(ValueError):
+            space.alloc("align", 8, align=3)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10000), min_size=1, max_size=20))
+    def test_property_no_overlap(self, sizes):
+        space = AddressSpace(AMAP)
+        regions = []
+        for i, size in enumerate(sizes):
+            base = space.alloc(f"r{i}", size)
+            regions.append((base, size))
+        for (b1, s1), (b2, s2) in zip(regions, regions[1:]):
+            assert b1 + s1 <= b2

@@ -1,0 +1,78 @@
+"""Tests for the high-level convenience API."""
+
+import pytest
+
+from repro import api
+from repro.config import Consistency
+
+
+class TestRunApp:
+    def test_summary_fields(self):
+        s = api.run_app("water", protocol="P", scale=0.2, n_procs=4)
+        assert s.app == "water"
+        assert s.protocol == "P"
+        assert s.consistency == "RC"
+        assert s.execution_time > 0
+        assert 0 <= s.busy_fraction <= 1
+        assert 0 <= s.read_stall_fraction <= 1
+        assert s.cold_miss_rate >= 0
+        assert s.network_bytes >= 0
+        assert s.stats.execution_time == s.execution_time
+
+    def test_fractions_sum_to_one(self):
+        s = api.run_app("water", scale=0.2, n_procs=4)
+        total = (
+            s.busy_fraction
+            + s.read_stall_fraction
+            + s.write_stall_fraction
+            + s.acquire_stall_fraction
+        )
+        # release stall is the only missing component under RC
+        assert total <= 1.001
+
+    def test_sc_runs(self):
+        s = api.run_app(
+            "water", protocol="M", consistency=Consistency.SC,
+            scale=0.2, n_procs=4,
+        )
+        assert s.consistency == "SC"
+
+    def test_deterministic(self):
+        a = api.run_app("mp3d", scale=0.2, n_procs=4, seed=5)
+        b = api.run_app("mp3d", scale=0.2, n_procs=4, seed=5)
+        assert a.execution_time == b.execution_time
+
+
+class TestCompareProtocols:
+    def test_ranking_sorted(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC", "P", "CW"), scale=0.2, n_procs=4
+        )
+        times = [s.execution_time for s in ranking]
+        assert times == sorted(times)
+
+    def test_basic_always_included(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("P",), scale=0.2, n_procs=4
+        )
+        assert ranking["BASIC"].protocol == "BASIC"
+
+    def test_relative_time(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC", "P+CW"), scale=0.2, n_procs=4
+        )
+        assert ranking.relative_time("BASIC") == 1.0
+        assert ranking.relative_time("P+CW") > 0
+
+    def test_unknown_protocol_lookup(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC",), scale=0.2, n_procs=4
+        )
+        with pytest.raises(KeyError):
+            ranking["P+CW+M"]
+
+    def test_best(self):
+        ranking = api.compare_protocols(
+            "lu", protocols=("BASIC", "P"), scale=0.3, n_procs=4
+        )
+        assert ranking.best().protocol == "P"

@@ -1,0 +1,123 @@
+"""Unit tests for the FLC and SLC line stores."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.states import CacheState
+from repro.mem.flc import FirstLevelCache
+from repro.mem.slc import SecondLevelCache
+
+
+class TestFlc:
+    def test_fill_and_lookup(self):
+        flc = FirstLevelCache(4096, 32)
+        assert not flc.lookup(5)
+        flc.fill(5)
+        assert flc.lookup(5)
+
+    def test_direct_mapped_conflict(self):
+        flc = FirstLevelCache(4096, 32)  # 128 sets
+        flc.fill(1)
+        victim = flc.fill(129)  # same set
+        assert victim == 1
+        assert not flc.lookup(1)
+        assert flc.lookup(129)
+
+    def test_refill_same_block_is_not_eviction(self):
+        flc = FirstLevelCache(4096, 32)
+        flc.fill(7)
+        assert flc.fill(7) is None
+
+    def test_invalidate(self):
+        flc = FirstLevelCache(4096, 32)
+        flc.fill(3)
+        assert flc.invalidate(3)
+        assert not flc.lookup(3)
+        assert not flc.invalidate(3)
+
+    def test_invalidate_does_not_hit_conflicting_block(self):
+        flc = FirstLevelCache(4096, 32)
+        flc.fill(1)
+        assert not flc.invalidate(129)
+        assert flc.lookup(1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            FirstLevelCache(100, 32)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+    def test_property_at_most_one_block_per_set(self, blocks):
+        flc = FirstLevelCache(1024, 32)  # 32 sets
+        for b in blocks:
+            flc.fill(b)
+        resident = flc.resident_blocks()
+        assert len(resident) <= 32
+        sets = [b % 32 for b in resident]
+        assert len(sets) == len(set(sets))
+
+
+class TestSlcInfinite:
+    def test_insert_and_lookup(self):
+        slc = SecondLevelCache(None, 32)
+        line, victim = slc.insert(10, CacheState.SHARED)
+        assert victim is None
+        assert slc.lookup(10) is line
+        assert line.state is CacheState.SHARED
+
+    def test_never_evicts(self):
+        slc = SecondLevelCache(None, 32)
+        for b in range(1000):
+            _line, victim = slc.insert(b, CacheState.SHARED)
+            assert victim is None
+        assert len(slc) == 1000
+
+    def test_invalidate(self):
+        slc = SecondLevelCache(None, 32)
+        slc.insert(4, CacheState.DIRTY)
+        old = slc.invalidate(4)
+        assert old is not None and old.state is CacheState.DIRTY
+        assert slc.lookup(4) is None
+        assert slc.invalidate(4) is None
+
+    def test_cannot_insert_invalid(self):
+        slc = SecondLevelCache(None, 32)
+        with pytest.raises(ValueError):
+            slc.insert(1, CacheState.INVALID)
+
+
+class TestSlcBounded:
+    def test_direct_mapped_eviction(self):
+        slc = SecondLevelCache(1024, 32)  # 32 sets
+        slc.insert(1, CacheState.DIRTY)
+        _line, victim = slc.insert(33, CacheState.SHARED)
+        assert victim is not None
+        assert victim.block == 1
+        assert victim.state is CacheState.DIRTY
+        assert slc.lookup(1) is None
+
+    def test_no_conflict_different_sets(self):
+        slc = SecondLevelCache(1024, 32)
+        slc.insert(1, CacheState.SHARED)
+        _line, victim = slc.insert(2, CacheState.SHARED)
+        assert victim is None
+        assert slc.lookup(1) is not None
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
+    def test_property_capacity_respected(self, blocks):
+        slc = SecondLevelCache(512, 32)  # 16 sets
+        for b in blocks:
+            slc.insert(b, CacheState.SHARED)
+        assert len(slc) <= 16
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SecondLevelCache(100, 32)
+
+
+def test_cache_state_predicates():
+    assert CacheState.DIRTY.is_exclusive
+    assert CacheState.MIG_CLEAN.is_exclusive
+    assert not CacheState.SHARED.is_exclusive
+    assert CacheState.SHARED.is_valid
+    assert not CacheState.INVALID.is_valid

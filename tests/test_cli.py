@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "mp3d"
+        assert args.protocol == "BASIC"
+        assert args.consistency == "RC"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "fft"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mesh_flag(self):
+        args = build_parser().parse_args(["run", "--mesh", "16"])
+        assert args.mesh == 16
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(["run", "--app", "water", "--scale", "0.2",
+                   "--protocol", "P", "--procs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "coherence miss %" in out
+
+    def test_run_under_sc(self, capsys):
+        rc = main(["run", "--app", "water", "--scale", "0.2",
+                   "--consistency", "SC", "--procs", "4"])
+        assert rc == 0
+        assert "write stall" in capsys.readouterr().out
+
+    def test_run_on_mesh(self, capsys):
+        rc = main(["run", "--app", "water", "--scale", "0.2",
+                   "--mesh", "32", "--procs", "4"])
+        assert rc == 0
+
+    def test_compare_ranks_protocols(self, capsys):
+        rc = main([
+            "compare", "--app", "water", "--scale", "0.2", "--procs", "4",
+            "--protocols", "BASIC", "P",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BASIC" in out and "P" in out
+        assert "rel. time" in out
+
+    def test_analyze_census(self, capsys):
+        rc = main(["analyze", "--app", "mp3d", "--scale", "0.2",
+                   "--procs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migratory" in out
+        assert "private" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "w.trace"
+        rc = main(["trace", "--app", "water", "--scale", "0.2",
+                   "--procs", "4", "--out", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        rc = main(["run", "--app", "water", "--procs", "4",
+                   "--trace-file", str(out_file)])
+        assert rc == 0
+
+    def test_experiments_table1(self, capsys):
+        rc = main(["experiments", "table1"])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out

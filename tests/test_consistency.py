@@ -1,0 +1,62 @@
+"""Tests for the consistency-model policies and their observable effects."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.config import Consistency, ProtocolConfig
+from repro.consistency import ConsistencyPolicy, protocol_feasible
+
+
+class TestPolicies:
+    def test_sc_policy(self):
+        p = ConsistencyPolicy.for_model(Consistency.SC)
+        assert p.blocking_writes
+        assert p.blocking_releases
+        assert not p.write_latency_hidden
+
+    def test_rc_policy(self):
+        p = ConsistencyPolicy.for_model(Consistency.RC)
+        assert not p.blocking_writes
+        assert not p.blocking_releases
+        assert p.write_latency_hidden
+
+    def test_cw_not_feasible_under_sc(self):
+        cw = ProtocolConfig(competitive_update=True)
+        assert not protocol_feasible(cw, Consistency.SC)
+        assert protocol_feasible(cw, Consistency.RC)
+
+    def test_others_feasible_everywhere(self):
+        for name in ("BASIC", "P", "M", "P+M"):
+            proto = ProtocolConfig.from_name(name)
+            assert protocol_feasible(proto, Consistency.SC)
+            assert protocol_feasible(proto, Consistency.RC)
+
+
+class TestObservableBehaviour:
+    def _write_heavy(self, consistency):
+        a = 2 * 4096
+        ops = []
+        for i in range(8):
+            ops.append(("write", a + i * BLOCK))
+            ops.append(("think", 10))
+        cfg = tiny_config(consistency=consistency)
+        return run_streams(cfg, pad_streams([ops], 4))
+
+    def test_rc_eliminates_write_penalty(self):
+        system = self._write_heavy(Consistency.RC)
+        assert system.stats.procs[0].write_stall == 0
+
+    def test_sc_pays_write_penalty(self):
+        system = self._write_heavy(Consistency.SC)
+        assert system.stats.procs[0].write_stall > 1000
+
+    def test_sc_is_slower_on_write_heavy_code(self):
+        rc = self._write_heavy(Consistency.RC)
+        sc = self._write_heavy(Consistency.SC)
+        assert sc.stats.execution_time > rc.stats.execution_time
+
+    def test_reads_block_under_both_models(self):
+        a = 2 * 4096
+        for model in (Consistency.RC, Consistency.SC):
+            cfg = tiny_config(consistency=model)
+            system = run_streams(cfg, pad_streams([[("read", a)]], 4))
+            assert system.stats.procs[0].read_stall > 0

@@ -1,0 +1,118 @@
+"""Deeper CW+M scenarios: the §3.4 combination end to end."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.core.states import CacheState, MemoryState
+
+LOCK = 3 * 4096
+
+
+def cs(lock, body):
+    return [("acquire", lock)] + body + [("release", lock)]
+
+
+def migratory_cs_chain(block_addr, n_procs=3, gap=6000):
+    """Lock-protected read-modify-write chains on one block."""
+    streams = []
+    for p in range(n_procs):
+        streams.append(
+            [("think", 1 + p * gap)]
+            + cs(LOCK, [("read", block_addr), ("write", block_addr)])
+        )
+    return streams
+
+
+class TestCwmLifecycle:
+    def test_block_ends_exclusively_owned(self):
+        cfg = tiny_config("CW+M")
+        a = 2 * 4096
+        system = run_streams(cfg, pad_streams(migratory_cs_chain(a, 3), 4))
+        entry = system.nodes[2].home.directory.entry(a // BLOCK)
+        # after the interrogation deems the block migratory, the last
+        # writer holds it exclusively and update traffic has stopped
+        assert entry.migratory
+        assert entry.state is MemoryState.MODIFIED
+        line = system.nodes[entry.owner].cache.slc.lookup(a // BLOCK)
+        assert line is not None
+        assert line.state is CacheState.DIRTY
+
+    def test_later_writer_pays_no_update_propagation(self):
+        cfg = tiny_config("CW+M")
+        a = 2 * 4096
+        streams = pad_streams(migratory_cs_chain(a, 4, gap=6000), 4)
+        system = run_streams(cfg, streams)
+        # updates flowed only before detection
+        upd = sum(c.updates_received for c in system.stats.caches)
+        cw_only = run_streams(
+            tiny_config("CW"), pad_streams(migratory_cs_chain(a, 4, 6000), 4)
+        )
+        cw_upd = sum(c.updates_received for c in cw_only.stats.caches)
+        assert upd < cw_upd
+
+    def test_read_only_holder_keeps_its_copy(self):
+        # a processor that READS the block between migratory writers
+        # answers the interrogation with "keep": the block must NOT be
+        # deemed migratory while genuine readers exist
+        cfg = tiny_config("CW+M")
+        a = 2 * 4096
+        streams = pad_streams(
+            [
+                cs(LOCK, [("read", a), ("write", a)]) + [("think", 20000)],
+                # an active reader touching the block continuously
+                [("read", a)]
+                + [op for _ in range(50) for op in (("think", 400), ("read", a))],
+                [("think", 6000)]
+                + cs(LOCK, [("read", a), ("write", a)])
+                + [("think", 14000)],
+                [("think", 12000)]
+                + cs(LOCK, [("read", a), ("write", a)]),
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        # the reader's copy survived the whole run
+        line = system.nodes[1].cache.slc.lookup(a // BLOCK)
+        assert line is not None
+        assert system.stats.caches[1].coherence_misses == 0
+
+
+class TestCwmWithBoundedCache:
+    def test_invariants_hold_under_eviction_pressure(self):
+        cfg = tiny_config("CW+M", slc_size=1024)
+        a = 2 * 4096
+        streams = []
+        for p in range(4):
+            ops = [("think", 1 + p * 500)]
+            for i in range(12):
+                ops += cs(LOCK, [("read", a), ("write", a)])
+                # conflicting traffic to force evictions
+                ops += [("read", a + (32 + i) * 32 * 32)]
+                ops += [("think", 300)]
+            streams.append(ops)
+        run_streams(cfg, streams)  # run_streams checks all invariants
+
+
+class TestPCWMTogether:
+    def test_all_three_extensions_compose(self):
+        cfg = tiny_config("P+CW+M")
+        a = 2 * 4096
+        streams = pad_streams(
+            [
+                # sequential region for P
+                [op for i in range(16)
+                 for op in (("read", 4 * 4096 + i * BLOCK), ("think", 30))]
+                + cs(LOCK, [("read", a), ("write", a)]),
+                [("think", 8000)] + cs(LOCK, [("read", a), ("write", a)]),
+                [("think", 16000)] + cs(LOCK, [("read", a), ("write", a)]),
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        assert sum(c.prefetches_issued for c in system.stats.caches) > 0
+        # the first two writers flush through the write cache; once the
+        # block is deemed migratory the third writer's read is already
+        # exclusive and its write needs no flush at all
+        assert sum(c.write_cache_flushes for c in system.stats.caches) == 2
+        assert (
+            sum(n.home.migratory_detections for n in system.nodes) >= 1
+        )

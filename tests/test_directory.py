@@ -1,0 +1,56 @@
+"""Unit tests for the full-map directory."""
+
+from repro.core.directory import (
+    Directory,
+    DirectoryEntry,
+    directory_bits_per_block,
+)
+from repro.core.states import MemoryState
+
+
+def test_lazy_entries_default_clean():
+    directory = Directory()
+    assert 5 not in directory
+    entry = directory.entry(5)
+    assert entry.state is MemoryState.CLEAN
+    assert entry.sharers == set()
+    assert entry.owner is None
+    assert not entry.migratory
+    assert 5 in directory
+
+
+def test_entry_identity_is_stable():
+    directory = Directory()
+    a = directory.entry(1)
+    a.sharers.add(3)
+    assert directory.entry(1).sharers == {3}
+
+
+def test_holders_clean_vs_modified():
+    entry = DirectoryEntry()
+    entry.sharers = {1, 2}
+    assert entry.holders() == {1, 2}
+    entry.state = MemoryState.MODIFIED
+    entry.owner = 7
+    assert entry.holders() == {7}
+    entry.owner = None
+    assert entry.holders() == set()
+
+
+def test_known_blocks():
+    directory = Directory()
+    directory.entry(1)
+    directory.entry(9)
+    assert sorted(directory.known_blocks()) == [1, 9]
+
+
+class TestDirectoryBits:
+    def test_basic_is_n_plus_3(self):
+        # paper §2: "N+3 bits per memory block for N nodes"
+        assert directory_bits_per_block(16) == 19
+        assert directory_bits_per_block(64) == 67
+
+    def test_migratory_adds_bit_and_pointer(self):
+        # Table 1: one migratory bit + log2(N)-bit pointer
+        assert directory_bits_per_block(16, migratory=True) == 19 + 1 + 4
+        assert directory_bits_per_block(64, migratory=True) == 67 + 1 + 6

@@ -1,0 +1,85 @@
+"""Every example script must stay runnable (small scales)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, capsys):
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["--scale", "0.2"], capsys)
+    assert "P+CW speedup over BASIC" in out
+    assert "read stall" in out
+
+
+def test_protocol_shootout(capsys):
+    out = run_example(
+        "protocol_shootout.py", ["--app", "water", "--scale", "0.2"], capsys
+    )
+    assert "ranking (best first)" in out
+    assert "P+CW+M" in out
+
+
+def test_custom_workload(capsys):
+    out = run_example("custom_workload.py", ["--rounds", "6"], capsys)
+    assert "producer-consumer pipeline" in out
+    assert "CW" in out
+
+
+def test_network_planning(capsys):
+    out = run_example(
+        "network_planning.py", ["--app", "water", "--scale", "0.2"], capsys
+    )
+    assert "peak link util" in out
+    assert "winner" in out
+
+
+def test_migratory_microbenchmark(capsys):
+    out = run_example(
+        "migratory_microbenchmark.py", ["--rounds", "6"], capsys
+    )
+    assert "ownership reqs" in out
+    assert "M / SC" in out
+
+
+def test_miss_rate_timeline(capsys):
+    out = run_example("miss_rate_timeline.py", ["--scale", "0.4"], capsys)
+    assert "LU" in out and "Ocean" in out
+    assert "cold-miss rate over time" in out
+
+
+def test_block_autopsy(capsys):
+    out = run_example(
+        "block_autopsy.py",
+        ["--protocol", "M", "--limit", "5", "--scale", "0.2"],
+        capsys,
+    )
+    assert "busiest block" in out
+    assert "message mix" in out
+
+
+def test_examples_directory_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "protocol_shootout.py",
+        "custom_workload.py",
+        "network_planning.py",
+        "migratory_microbenchmark.py",
+        "miss_rate_timeline.py",
+        "block_autopsy.py",
+    }
+    assert scripts == covered, "new example scripts need tests"

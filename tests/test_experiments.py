@@ -1,0 +1,92 @@
+"""Tests for the experiment drivers (tiny scale, structure-level)."""
+
+import pytest
+
+from repro.experiments import figure2, figure3, figure4, sensitivity, table1, table2, table3
+
+APPS = ("water",)  # a single fast application keeps these tests quick
+SCALE = 0.3
+
+
+class TestFigure2:
+    def test_runs_and_renders(self):
+        data = figure2.run(scale=SCALE, apps=APPS,
+                           protocols=("BASIC", "P", "CW"))
+        text = figure2.render(data)
+        assert "Figure 2" in text
+        assert "water" in text
+        assert "BASIC" in text and "CW" in text
+
+    def test_relative_times_positive(self):
+        data = figure2.run(scale=SCALE, apps=APPS,
+                           protocols=("BASIC", "P+CW"))
+        base = data["water"]["BASIC"].execution_time
+        assert base > 0
+        assert data["water"]["P+CW"].execution_time > 0
+
+
+class TestTable2:
+    def test_reports_all_four_protocols(self):
+        data = table2.run(scale=SCALE, apps=APPS)
+        assert set(data["water"]) == {"BASIC", "P", "CW", "P+CW"}
+        text = table2.render(data)
+        assert "cold" in text and "coh" in text
+
+    def test_composition_error_computable(self):
+        data = table2.run(scale=SCALE, apps=APPS)
+        errs = table2.composition_errors(data)
+        cold_err, coh_err = errs["water"]
+        assert cold_err >= 0 and coh_err >= 0
+
+
+class TestFigure3:
+    def test_includes_rc_reference(self):
+        data = figure3.run(scale=SCALE, apps=APPS)
+        assert "basic_rc" in data["water"]
+        text = figure3.render(data)
+        assert "B-SC" in text and "M-SC" in text and "dashed" in text
+
+
+class TestTable3:
+    def test_three_link_widths(self):
+        data = table3.run(scale=SCALE, apps=APPS)
+        assert set(data["P+CW"]["water"]) == {64, 32, 16}
+        assert set(data["P+M"]["water"]) == {64, 32, 16}
+        text = table3.render(data)
+        assert "16-bit links" in text
+
+    def test_utilization_grows_as_links_narrow(self):
+        data = table3.run(scale=SCALE, apps=APPS)
+        util = data["utilization"]["water"]
+        assert util[16] > util[64]
+
+
+class TestFigure4:
+    def test_basic_is_100(self):
+        data = figure4.run(scale=SCALE, apps=APPS)
+        assert data["water"]["BASIC"] == pytest.approx(100.0)
+        text = figure4.render(data)
+        assert "normalized" in text
+
+
+class TestSensitivity:
+    def test_buffer_study(self):
+        data = sensitivity.run_buffers(scale=SCALE, apps=APPS)
+        for proto, slowdown in data["water"].items():
+            assert slowdown > 0.5
+
+    def test_limited_slc_study(self):
+        data = sensitivity.run_limited_slc(scale=SCALE, apps=APPS)
+        rel, repl = data["water"]["BASIC"]
+        assert rel == pytest.approx(1.0)
+        text = sensitivity.render_limited_slc(data)
+        assert "16-KB SLC" in text
+
+
+class TestTable1:
+    def test_static_inventory(self):
+        rows = table1.run()
+        text = table1.render(rows)
+        assert "Table 1" in text
+        assert "write cache" in text
+        assert "directory overhead" in text

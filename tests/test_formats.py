@@ -1,0 +1,66 @@
+"""Tests for the experiment text renderers."""
+
+from repro.experiments.formats import (
+    decomposition,
+    render_stacked_bars,
+    render_table,
+)
+from repro.stats.counters import MachineStats
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(
+            ("name", "value"),
+            [("short", 1.0), ("a-much-longer-name", 12.345)],
+            title="t",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # all rows have equal rendered width for the first column
+        assert lines[3].index("1.00") == lines[4].index("12.35")
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(0.123456,)])
+        assert "0.12" in text
+
+    def test_non_float_cells_pass_through(self):
+        text = render_table(("a", "b"), [("s", 7)])
+        assert "s" in text and "7" in text
+
+
+class TestStackedBars:
+    def test_reference_scaling(self):
+        bars = [
+            ("BASIC", {"busy": 50.0, "read": 50.0}),
+            ("P", {"busy": 50.0, "read": 0.0}),
+        ]
+        text = render_stacked_bars(bars, width=20, reference=100.0)
+        lines = text.splitlines()
+        assert lines[0].endswith("1.00")
+        assert lines[1].endswith("0.50")
+
+    def test_glyph_legend_present(self):
+        text = render_stacked_bars([("x", {"busy": 1.0})])
+        assert "#=busy" in text
+
+    def test_title(self):
+        text = render_stacked_bars([("x", {"busy": 1.0})], title="[app]")
+        assert text.splitlines()[0] == "[app]"
+
+    def test_zero_total_does_not_crash(self):
+        assert render_stacked_bars([("x", {})])
+
+
+def test_decomposition_reads_machine_stats():
+    stats = MachineStats.for_nodes(2)
+    stats.procs[0].busy = 10
+    stats.procs[1].busy = 30
+    stats.procs[0].read_stall = 4
+    stats.procs[1].read_stall = 0
+    d = decomposition(stats)
+    assert d["busy"] == 20
+    assert d["read"] == 2
+    assert set(d) == {"busy", "read", "write", "acquire", "release"}

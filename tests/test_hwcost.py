@@ -1,0 +1,88 @@
+"""Tests for the Table 1 hardware-cost model."""
+
+from repro.config import Consistency, SystemConfig
+from repro.core.hwcost import (
+    cost_table,
+    directory_overhead_fraction,
+    hardware_cost,
+)
+
+
+def cost_of(name, consistency=Consistency.RC):
+    cfg = SystemConfig(consistency=consistency).with_protocol(name)
+    return hardware_cost(cfg)
+
+
+class TestCacheLineBits:
+    def test_basic_needs_two_bits(self):
+        # 3 stable cache states -> 2 bits (paper §2)
+        assert cost_of("BASIC").slc_state_bits_per_line == 2
+
+    def test_p_adds_two_bits(self):
+        # Table 1: "2 bits" per cache line for P
+        assert cost_of("P").slc_state_bits_per_line == 4
+
+    def test_m_adds_one_state(self):
+        # Table 1: "1 state" (the extra migratory cache state)
+        assert cost_of("M").slc_state_bits_per_line == 3
+
+    def test_cw_adds_counter_and_access_bit(self):
+        # Table 1: "1-bit counter" (+ the accessed-since-update bit)
+        assert cost_of("CW").slc_state_bits_per_line == 4
+
+    def test_combination_costs_are_additive(self):
+        assert cost_of("P+M").slc_state_bits_per_line == 5
+        # CW+M also carries the modified-since-update bit of §3.4
+        assert cost_of("CW+M").slc_state_bits_per_line == 6
+        assert cost_of("P+CW+M").slc_state_bits_per_line == 8
+
+
+class TestMemoryLineBits:
+    def test_basic_is_n_plus_3(self):
+        assert cost_of("BASIC").memory_state_bits_per_line == 19
+
+    def test_m_adds_bit_and_pointer(self):
+        assert cost_of("M").memory_state_bits_per_line == 24
+
+    def test_cw_adds_no_memory_state(self):
+        # Table 1: "No extra state" at memory for P and CW
+        assert cost_of("CW").memory_state_bits_per_line == 19
+        assert cost_of("P").memory_state_bits_per_line == 19
+
+
+class TestMechanismsAndBuffers:
+    def test_p_needs_three_counters(self):
+        assert any("3 modulo-16" in m for m in cost_of("P").extra_cache_mechanisms)
+
+    def test_cw_needs_a_write_cache(self):
+        assert any("write cache" in m for m in cost_of("CW").extra_cache_mechanisms)
+
+    def test_basic_and_m_need_no_extra_mechanisms(self):
+        assert cost_of("BASIC").extra_cache_mechanisms == ()
+        assert cost_of("M").extra_cache_mechanisms == ()
+
+    def test_sc_uses_single_entry_slwb_except_p(self):
+        # Table 1: "SC: a single entry" but P buffers prefetches
+        assert cost_of("BASIC", Consistency.SC).slwb_entries == 1
+        assert cost_of("M", Consistency.SC).slwb_entries == 1
+        assert cost_of("P", Consistency.SC).slwb_entries == 16
+
+    def test_cw_slwb_entries_hold_blocks(self):
+        assert cost_of("CW").slwb_entry_holds_block
+        assert not cost_of("BASIC").slwb_entry_holds_block
+
+
+class TestTable:
+    def test_cost_table_rows(self):
+        rows = cost_table()
+        assert [r.protocol for r in rows] == ["BASIC", "P", "M", "CW"]
+
+    def test_cost_table_sc_omits_cw(self):
+        rows = cost_table(consistency=Consistency.SC)
+        assert [r.protocol for r in rows] == ["BASIC", "P", "M"]
+
+    def test_directory_overhead_is_modest(self):
+        basic = SystemConfig().with_protocol("BASIC")
+        mig = SystemConfig().with_protocol("M")
+        assert 0.05 < directory_overhead_fraction(basic) < 0.10
+        assert directory_overhead_fraction(mig) > directory_overhead_fraction(basic)

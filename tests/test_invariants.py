@@ -1,0 +1,104 @@
+"""Tests for the coherence-invariant checker itself.
+
+The checker must accept healthy systems (covered all over the suite)
+and, crucially, *reject* corrupted ones -- otherwise the property
+tests prove nothing.
+"""
+
+import pytest
+from conftest import pad_streams, tiny_config
+
+from repro.core.invariants import (
+    InvariantViolation,
+    check_all,
+    check_coherence,
+    check_inclusion,
+    check_quiescent,
+)
+from repro.core.states import CacheState, MemoryState
+from repro.system import System
+
+
+def healthy_system():
+    system = System(tiny_config())
+    streams = pad_streams(
+        [[("read", 0), ("write", 0)], [("read", 4096)]], 4
+    )
+    system.run(streams)
+    return system
+
+
+def test_healthy_system_passes():
+    check_all(healthy_system())
+
+
+def test_detects_double_exclusive():
+    system = healthy_system()
+    # forge a second dirty copy of block 0
+    system.nodes[1].cache.slc.insert(0, CacheState.DIRTY)
+    with pytest.raises(InvariantViolation, match="exclusive"):
+        check_coherence(system)
+
+
+def test_detects_exclusive_plus_shared():
+    system = healthy_system()
+    system.nodes[1].cache.slc.insert(0, CacheState.SHARED)
+    with pytest.raises(InvariantViolation):
+        check_coherence(system)
+
+
+def test_detects_wrong_owner():
+    system = healthy_system()
+    entry = system.nodes[0].home.directory.entry(0)
+    assert entry.state is MemoryState.MODIFIED
+    entry.owner = 3  # lie about the owner
+    with pytest.raises(InvariantViolation, match="MODIFIED"):
+        check_coherence(system)
+
+
+def test_detects_clean_with_exclusive_holder():
+    system = healthy_system()
+    entry = system.nodes[0].home.directory.entry(0)
+    entry.state = MemoryState.CLEAN
+    entry.owner = None
+    with pytest.raises(InvariantViolation, match="CLEAN"):
+        check_coherence(system)
+
+
+def test_detects_unknown_sharer():
+    system = healthy_system()
+    # node 3 conjures a copy the directory never granted
+    system.nodes[3].cache.slc.insert(4096 // 32, CacheState.SHARED)
+    with pytest.raises(InvariantViolation, match="unknown"):
+        check_coherence(system)
+
+
+def test_detects_inclusion_violation():
+    system = healthy_system()
+    system.nodes[0].cache.flc.fill(999)  # FLC block absent from SLC
+    with pytest.raises(InvariantViolation, match="inclusion"):
+        check_inclusion(system)
+
+
+def test_detects_unquiesced_cache():
+    system = healthy_system()
+    cache = system.nodes[0].cache
+    from repro.core.cache_ctrl import _PendingRead
+
+    cache._pending_reads[123] = _PendingRead(
+        block=123, slwb_id=0, is_prefetch=False, start=0
+    )
+    with pytest.raises(InvariantViolation, match="outstanding"):
+        check_quiescent(system)
+
+
+def test_detects_stuck_home_transaction():
+    system = healthy_system()
+    from repro.core.home import _Xact
+    from repro.core.messages import Message, MsgType
+
+    system.nodes[0].home._xacts[7] = _Xact(
+        kind="inv", orig=Message(MsgType.OWN_REQ, src=1, dst=0, block=7)
+    )
+    with pytest.raises(InvariantViolation, match="transactions"):
+        check_quiescent(system)

@@ -1,0 +1,51 @@
+"""Property tests over protocol-message encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.messages import HEADER_BYTES, Message, MsgType
+
+messages = st.builds(
+    Message,
+    mtype=st.sampled_from(list(MsgType)),
+    src=st.integers(0, 63),
+    dst=st.integers(0, 63),
+    block=st.integers(0, 2**24),
+    prefetch=st.booleans(),
+    words=st.integers(0, 8),
+    grant=st.sampled_from(["S", "MC", "X"]),
+    was_modified=st.booleans(),
+    drop=st.booleans(),
+    give_up=st.booleans(),
+    exclusive=st.booleans(),
+    tag=st.integers(0, 1000),
+)
+
+
+@given(messages)
+def test_size_is_at_least_a_header(msg):
+    assert msg.size_bytes >= HEADER_BYTES
+
+
+@given(messages)
+def test_carries_data_iff_bigger_than_header(msg):
+    assert msg.carries_data == (msg.size_bytes > HEADER_BYTES)
+
+
+@given(messages)
+def test_size_bounded_by_header_plus_block(msg):
+    assert msg.size_bytes <= HEADER_BYTES + 32
+
+
+@given(st.integers(0, 8))
+def test_flush_size_grows_per_word(words):
+    msg = Message(MsgType.WC_FLUSH, src=0, dst=1, block=0, words=words)
+    assert msg.size_bytes == HEADER_BYTES + 4 * words
+
+
+@given(messages)
+def test_message_is_mutable_value_object(msg):
+    # handlers set fields like requester on forwards; ensure the
+    # dataclass stays assignable and size stays consistent afterwards
+    msg.requester = 3
+    assert msg.size_bytes >= HEADER_BYTES

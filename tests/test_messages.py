@@ -1,0 +1,92 @@
+"""Unit tests for protocol messages and their network sizes."""
+
+from repro.core.messages import (
+    BLOCK_BYTES,
+    HEADER_BYTES,
+    HOME_BOUND,
+    Message,
+    MsgType,
+)
+
+
+def _msg(mtype, **kw):
+    return Message(mtype, src=0, dst=1, block=10, **kw)
+
+
+class TestSizes:
+    def test_control_messages_are_header_only(self):
+        for mtype in (
+            MsgType.RD_REQ,
+            MsgType.OWN_REQ,
+            MsgType.INV,
+            MsgType.INV_ACK,
+            MsgType.FETCH,
+            MsgType.FETCH_INV,
+            MsgType.LOCK_REQ,
+            MsgType.BAR_ARRIVE,
+            MsgType.WC_ACK,
+        ):
+            assert _msg(mtype).size_bytes == HEADER_BYTES
+            assert not _msg(mtype).carries_data
+
+    def test_data_replies_carry_a_block(self):
+        for mtype in (MsgType.RD_RPL, MsgType.RDX_RPL, MsgType.WB):
+            msg = _msg(mtype)
+            assert msg.size_bytes == HEADER_BYTES + BLOCK_BYTES
+            assert msg.carries_data
+
+    def test_selective_word_flush(self):
+        # §3.3: "the dirty bits are also used to selectively send the
+        # modified words ... using a single request"
+        assert _msg(MsgType.WC_FLUSH, words=1).size_bytes == HEADER_BYTES + 4
+        assert _msg(MsgType.WC_FLUSH, words=8).size_bytes == HEADER_BYTES + 32
+        assert _msg(MsgType.UPD_PROP, words=3).size_bytes == HEADER_BYTES + 12
+
+    def test_xfer_ack_carries_data_only_when_modified(self):
+        assert _msg(MsgType.XFER_ACK).size_bytes == HEADER_BYTES
+        assert (
+            _msg(MsgType.XFER_ACK, was_modified=True).size_bytes
+            == HEADER_BYTES + BLOCK_BYTES
+        )
+
+    def test_inv_ack_piggybacks_write_cache_words(self):
+        assert _msg(MsgType.INV_ACK).size_bytes == HEADER_BYTES
+        assert _msg(MsgType.INV_ACK, words=2).size_bytes == HEADER_BYTES + 8
+
+
+class TestRouting:
+    def test_requests_and_acks_are_home_bound(self):
+        for mtype in (
+            MsgType.RD_REQ,
+            MsgType.RDX_REQ,
+            MsgType.OWN_REQ,
+            MsgType.WB,
+            MsgType.REPL,
+            MsgType.WC_FLUSH,
+            MsgType.LOCK_REQ,
+            MsgType.LOCK_REL,
+            MsgType.BAR_ARRIVE,
+            MsgType.INV_ACK,
+            MsgType.UPD_ACK,
+            MsgType.MIG_RPL,
+            MsgType.XFER_ACK,
+        ):
+            assert mtype in HOME_BOUND
+
+    def test_replies_and_coherence_commands_are_cache_bound(self):
+        for mtype in (
+            MsgType.RD_RPL,
+            MsgType.RDX_RPL,
+            MsgType.OWN_ACK,
+            MsgType.INV,
+            MsgType.FETCH,
+            MsgType.FETCH_INV,
+            MsgType.UPD_PROP,
+            MsgType.MIG_QUERY,
+            MsgType.WC_ACK,
+            MsgType.WB_ACK,
+            MsgType.LOCK_GRANT,
+            MsgType.LOCK_REL_ACK,
+            MsgType.BAR_WAKE,
+        ):
+            assert mtype not in HOME_BOUND

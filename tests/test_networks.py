@@ -1,0 +1,126 @@
+"""Unit and property tests for the interconnect models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, NetworkKind
+from repro.network import build_network
+from repro.network.mesh import MeshNetwork
+from repro.network.uniform import UniformNetwork
+from repro.stats.counters import NetworkStats
+
+
+def make_uniform(latency=54):
+    stats = NetworkStats()
+    return UniformNetwork(NetworkConfig(uniform_latency=latency), 16, stats), stats
+
+
+def make_mesh(width=64, n=16):
+    stats = NetworkStats()
+    cfg = NetworkConfig(kind=NetworkKind.MESH, link_width_bits=width)
+    return MeshNetwork(cfg, n, stats), stats
+
+
+class TestUniform:
+    def test_constant_latency(self):
+        net, _ = make_uniform()
+        assert net.arrival_time(0, 15, 40, ready=100) == 154
+        assert net.arrival_time(3, 4, 1000, ready=0) == 54
+
+    def test_local_messages_are_instant(self):
+        net, _ = make_uniform()
+        assert net.arrival_time(5, 5, 40, ready=10) == 10
+
+    def test_traffic_recorded_for_remote_only(self):
+        net, stats = make_uniform()
+        net.record("RD_REQ", 0, 1, 8, False)
+        net.record("RD_RPL", 2, 2, 40, True)  # local: not traffic
+        assert stats.messages == 1
+        assert stats.bytes == 8
+
+    def test_no_contention(self):
+        net, _ = make_uniform()
+        arrivals = [net.arrival_time(0, 1, 40, ready=0) for _ in range(100)]
+        assert all(a == 54 for a in arrivals)
+
+
+class TestMeshRouting:
+    def test_needs_square_node_count(self):
+        with pytest.raises(ValueError):
+            make_mesh(n=12)
+
+    def test_dimension_order_route(self):
+        net, _ = make_mesh()
+        # node 0 = (0,0), node 15 = (3,3): X first, then Y
+        path = net.route(0, 15)
+        assert path == [(0, 1), (1, 2), (2, 3), (3, 7), (7, 11), (11, 15)]
+
+    def test_route_length_is_manhattan_distance(self):
+        net, _ = make_mesh()
+        assert len(net.route(0, 3)) == 3
+        assert len(net.route(5, 6)) == 1
+        assert len(net.route(0, 0)) == 0
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_property_route_is_connected(self, src, dst):
+        net, _ = make_mesh()
+        path = net.route(src, dst)
+        cur = src
+        for a, b in path:
+            assert a == cur
+            # one hop in x or y
+            ax, ay = a % 4, a // 4
+            bx, by = b % 4, b // 4
+            assert abs(ax - bx) + abs(ay - by) == 1
+            cur = b
+        assert cur == dst
+        manhattan = abs(src % 4 - dst % 4) + abs(src // 4 - dst // 4)
+        assert len(path) == manhattan
+
+
+class TestMeshTiming:
+    def test_flit_count_scales_with_link_width(self):
+        net64, _ = make_mesh(64)
+        net16, _ = make_mesh(16)
+        assert net64.flits(40) == 5    # 320 bits / 64
+        assert net16.flits(40) == 20   # 320 bits / 16
+        assert net64.flits(1) == 1
+
+    def test_narrower_links_are_slower(self):
+        t = {}
+        for width in (64, 32, 16):
+            net, _ = make_mesh(width)
+            t[width] = net.arrival_time(0, 15, 40, ready=0)
+        assert t[64] < t[32] < t[16]
+
+    def test_contention_delays_second_message(self):
+        net, _ = make_mesh(16)
+        first = net.arrival_time(0, 3, 40, ready=0)
+        second = net.arrival_time(0, 3, 40, ready=0)
+        assert second > first
+
+    def test_disjoint_paths_do_not_interfere(self):
+        net, _ = make_mesh(16)
+        a = net.arrival_time(0, 1, 40, ready=0)
+        b = net.arrival_time(14, 15, 40, ready=0)
+        assert a == net.arrival_time(4, 5, 40, ready=0) or True
+        assert b == 0 + net._cfg.hop_cycles + net.flits(40)
+
+    def test_local_messages_are_instant(self):
+        net, _ = make_mesh()
+        assert net.arrival_time(7, 7, 40, ready=9) == 9
+
+    def test_max_link_utilization(self):
+        net, _ = make_mesh(16)
+        assert net.max_link_utilization(100) == 0.0
+        net.arrival_time(0, 1, 40, ready=0)
+        assert net.max_link_utilization(100) > 0.0
+
+
+def test_build_network_dispatch():
+    stats = NetworkStats()
+    uni = build_network(NetworkConfig(), 16, stats)
+    mesh = build_network(NetworkConfig(kind=NetworkKind.MESH), 16, stats)
+    assert isinstance(uni, UniformNetwork)
+    assert isinstance(mesh, MeshNetwork)

@@ -1,0 +1,170 @@
+"""Regression tests for the paper's qualitative results.
+
+These assert the *shapes* of the evaluation -- who wins, in which
+direction each extension moves each metric -- at a reduced workload
+scale.  Results are cached per module so each configuration simulates
+once.
+"""
+
+import pytest
+
+from repro.config import Consistency
+from repro.experiments.runner import run_once
+
+SCALE = 0.7
+_cache: dict = {}
+
+
+def result(app, proto, consistency=Consistency.RC):
+    key = (app, proto, consistency)
+    if key not in _cache:
+        _cache[key] = run_once(
+            app, protocol=proto, consistency=consistency, scale=SCALE
+        )
+    return _cache[key]
+
+
+def rel_time(app, proto, consistency=Consistency.RC):
+    base = result(app, "BASIC", consistency).execution_time
+    return result(app, proto, consistency).execution_time / base
+
+
+class TestPrefetchingShapes:
+    def test_p_cuts_cold_misses_in_lu(self):
+        # Table 2: LU cold rate drops by about 4x under P
+        basic = result("lu", "BASIC").stats.miss_rate("cold")
+        p = result("lu", "P").stats.miss_rate("cold")
+        assert p < basic / 2.5
+
+    def test_p_cuts_cold_misses_in_cholesky(self):
+        basic = result("cholesky", "BASIC").stats.miss_rate("cold")
+        p = result("cholesky", "P").stats.miss_rate("cold")
+        assert p < basic / 2
+
+    def test_p_speeds_up_lu(self):
+        assert rel_time("lu", "P") < 0.9
+
+    def test_p_barely_cuts_mp3d_coherence(self):
+        basic = result("mp3d", "BASIC").stats.miss_rate("coherence")
+        p = result("mp3d", "P").stats.miss_rate("coherence")
+        assert p < basic * 1.3  # no large increase either
+
+
+class TestCompetitiveUpdateShapes:
+    def test_cw_cuts_coherence_misses_in_ocean(self):
+        basic = result("ocean", "BASIC").stats.miss_rate("coherence")
+        cw = result("ocean", "CW").stats.miss_rate("coherence")
+        assert cw < basic / 3
+
+    def test_cw_leaves_cold_misses_alone(self):
+        for app in ("lu", "ocean", "mp3d"):
+            basic = result(app, "BASIC").stats.miss_rate("cold")
+            cw = result(app, "CW").stats.miss_rate("cold")
+            assert cw == pytest.approx(basic, rel=0.15), app
+
+    def test_cw_shortens_remaining_misses_in_mp3d(self):
+        # §5.1: "the read penalty reduction ... is essentially due to
+        # the shorter latency of the remaining coherence misses"
+
+        def avg_lat(proto):
+            stats = result("mp3d", proto).stats
+            total = sum(c.read_miss_latency_total for c in stats.caches)
+            count = sum(c.read_miss_latency_count for c in stats.caches)
+            return total / count
+
+        assert avg_lat("CW") < avg_lat("BASIC") * 0.93
+
+    def test_cw_helps_mp3d_only_modestly(self):
+        # migratory sharing limits CW (§3.3 / ref [10])
+        basic = result("mp3d", "BASIC").stats.miss_rate("coherence")
+        cw = result("mp3d", "CW").stats.miss_rate("coherence")
+        assert basic * 0.8 < cw <= basic * 1.05
+
+
+class TestMigratoryShapes:
+    def test_m_cuts_ownership_requests_in_migratory_apps(self):
+        for app in ("mp3d", "cholesky"):
+            basic = sum(
+                c.ownership_requests for c in result(app, "BASIC").stats.caches
+            )
+            m = sum(c.ownership_requests for c in result(app, "M").stats.caches)
+            assert m < basic * 0.85, app
+
+    def test_m_is_a_noop_for_lu(self):
+        # LU has no migratory sharing: M == BASIC exactly
+        assert rel_time("lu", "M") == pytest.approx(1.0, abs=0.01)
+
+    def test_m_cuts_traffic_for_migratory_apps(self):
+        for app in ("mp3d", "cholesky"):
+            basic = result(app, "BASIC").stats.network.bytes
+            m = result(app, "M").stats.network.bytes
+            assert m < basic, app
+
+    def test_m_sc_cuts_write_stall_in_mp3d(self):
+        # Figure 3: M-SC removes most of MP3D's write penalty
+        basic = result("mp3d", "BASIC", Consistency.SC).stats.mean_write_stall
+        m = result("mp3d", "M", Consistency.SC).stats.mean_write_stall
+        assert m < basic * 0.4
+
+    def test_m_sc_speeds_up_mp3d_strongly(self):
+        # paper: execution time reduced by as much as 39 % (MP3D)
+        assert rel_time("mp3d", "M", Consistency.SC) < 0.75
+
+
+class TestCombinationShapes:
+    def test_p_cw_is_the_strongest_rc_combination_for_most_apps(self):
+        for app in ("mp3d", "water", "lu", "ocean"):
+            assert rel_time(app, "P+CW") <= min(
+                rel_time(app, "P"), rel_time(app, "CW")
+            ) + 0.02, app
+
+    def test_p_cw_composition_is_additive(self):
+        # Table 2 boldface: P+CW inherits P's cold and CW's coherence
+        # (mp3d's prefetched cells blur the coherence side at reduced
+        # scale, so it is checked in EXPERIMENTS.md at full scale)
+        for app in ("water", "ocean"):
+            p_cold = result(app, "P").stats.miss_rate("cold")
+            cw_coh = result(app, "CW").stats.miss_rate("coherence")
+            combo = result(app, "P+CW").stats
+            assert combo.miss_rate("cold") == pytest.approx(p_cold, abs=0.4), app
+            assert combo.miss_rate("coherence") == pytest.approx(
+                cw_coh, abs=0.6
+            ), app
+
+    def test_cw_m_wipes_out_cw_gains_for_mp3d(self):
+        # §5.1: "the gains of CW are wiped out for all applications
+        # exhibiting a significant degree of migratory sharing"
+        assert rel_time("mp3d", "CW+M") > rel_time("mp3d", "CW") + 0.05
+
+    def test_p_m_under_sc_is_additive_for_mp3d(self):
+        # Figure 3: ~46 % reduction for MP3D
+        assert rel_time("mp3d", "P+M", Consistency.SC) < 0.7
+
+    def test_p_m_sc_beats_basic_rc_for_cholesky(self):
+        # paper: "P+M under SC outperforms BASIC under RC for three
+        # out of the five applications" -- cholesky is one of them
+        sc = result("cholesky", "P+M", Consistency.SC).execution_time
+        rc = result("cholesky", "BASIC", Consistency.RC).execution_time
+        assert sc < rc
+
+    def test_p_sc_increases_write_stall_slightly(self):
+        # §5.2: prefetching increases the number of cached copies and
+        # hence the invalidations a write must wait for
+        basic = result("mp3d", "BASIC", Consistency.SC).stats.mean_write_stall
+        p = result("mp3d", "P", Consistency.SC).stats.mean_write_stall
+        assert p >= basic * 0.95
+
+
+class TestTrafficShapes:
+    def test_prefetching_adds_traffic(self):
+        for app in ("lu", "ocean", "mp3d"):
+            basic = result(app, "BASIC").stats.network.bytes
+            p = result(app, "P").stats.network.bytes
+            assert p > basic, app
+
+    def test_p_m_uses_less_traffic_than_p_cw_for_migratory_apps(self):
+        # §5.3: the bandwidth freed by M becomes available to P
+        for app in ("mp3d",):
+            p_m = result(app, "P+M").stats.network.bytes
+            p_cw = result(app, "P+CW").stats.network.bytes
+            assert p_m < p_cw, app

@@ -1,0 +1,115 @@
+"""Tests for page-placement policies and the placement study."""
+
+from dataclasses import replace
+
+import pytest
+from conftest import pad_streams, run_streams, tiny_config
+
+from repro.config import SystemConfig
+from repro.mem.placement import (
+    FirstTouchPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.system import System
+
+
+class TestPolicies:
+    def test_round_robin(self):
+        p = RoundRobinPlacement(4)
+        assert [p.home_of_page(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_first_touch_assigns_to_toucher(self):
+        p = FirstTouchPlacement(4)
+        assert p.home_of_page(7, toucher=2) == 2
+        # sticky for every later toucher
+        assert p.home_of_page(7, toucher=3) == 2
+        assert p.assigned_pages == 1
+
+    def test_first_touch_fallback_without_toucher(self):
+        p = FirstTouchPlacement(4)
+        assert p.home_of_page(5, toucher=None) == 1  # 5 % 4
+        assert p.assigned_pages == 0  # not recorded
+
+    def test_distribution(self):
+        p = FirstTouchPlacement(4)
+        p.home_of_page(0, toucher=1)
+        p.home_of_page(1, toucher=1)
+        p.home_of_page(2, toucher=3)
+        assert p.distribution() == {1: 2, 3: 1}
+
+    def test_factory(self):
+        assert isinstance(make_placement("round_robin", 4), RoundRobinPlacement)
+        assert isinstance(make_placement("first_touch", 4), FirstTouchPlacement)
+        with pytest.raises(ValueError):
+            make_placement("static", 4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="placement"):
+            SystemConfig(page_placement="hashed")
+
+
+class TestFirstTouchSystem:
+    def _cfg(self, protocol="BASIC", **kw):
+        return replace(
+            tiny_config(protocol, **kw), page_placement="first_touch"
+        )
+
+    def test_private_page_becomes_local(self):
+        # proc 2 is the only toucher of its page: the miss is local
+        addr = 7 * 4096
+        streams = [[], [], [("read", addr)], []]
+        system = run_streams(self._cfg(), streams)
+        assert system.placement.home_of_page(7) == 2
+        # a local miss generates no network traffic
+        assert system.stats.network.bytes == 0
+
+    def test_first_touch_cuts_private_read_stall(self):
+        addr = 7 * 4096
+        ops = [("read", addr + i * 32) for i in range(8)]
+        rr = run_streams(tiny_config(), pad_streams([[], [], ops], 4))
+        ft = run_streams(self._cfg(), pad_streams([[], [], ops], 4))
+        assert (
+            ft.stats.procs[2].read_stall < rr.stats.procs[2].read_stall
+        )
+
+    def test_shared_page_is_consistent_across_nodes(self):
+        # both processors must agree on the home: the directory for
+        # the page lives at exactly one node
+        addr = 5 * 4096
+        streams = pad_streams(
+            [[("read", addr)], [("think", 2000), ("read", addr), ("write", addr)]],
+            4,
+        )
+        system = run_streams(self._cfg(), streams)
+        homes = [
+            n.node_id
+            for n in system.nodes
+            if addr // 32 in n.home.directory.known_blocks()
+        ]
+        assert homes == [0]  # first toucher
+
+    def test_invariants_with_protocol_extensions(self):
+        addr = 5 * 4096
+        streams = pad_streams(
+            [
+                [("read", addr), ("write", addr), ("think", 4000)],
+                [("think", 1500), ("read", addr), ("write", addr)],
+            ],
+            4,
+        )
+        run_streams(self._cfg("P+CW+M"), streams)
+
+
+class TestPlacementExperiment:
+    def test_driver_runs(self):
+        from repro.experiments import placement
+
+        data = placement.run(scale=0.25, apps=("water",))
+        assert set(data["water"]) == {
+            (proto, policy)
+            for proto in placement.PROTOCOLS
+            for policy in placement.POLICIES
+        }
+        text = placement.render(data)
+        assert "first-touch" in text

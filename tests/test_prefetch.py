@@ -1,0 +1,109 @@
+"""Unit tests for the adaptive sequential prefetch engine."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PrefetchConfig
+from repro.core.prefetch import AdaptivePrefetcher
+
+
+def make(degree=1, max_degree=8, high=0.55, low=0.20):
+    cfg = PrefetchConfig(
+        initial_degree=degree, max_degree=max_degree,
+        high_mark=high, low_mark=low,
+    )
+    return AdaptivePrefetcher(cfg)
+
+
+def run_window(pf, useful):
+    """Issue one full window of 16 prefetches, ``useful`` of them useful."""
+    for i in range(16):
+        if i < useful:
+            pf.on_useful_prefetch()
+        pf.on_prefetch_issued()
+
+
+def test_candidates_follow_the_miss():
+    pf = make(degree=3)
+    assert pf.candidates(10) == [11, 12, 13]
+
+
+def test_degree_doubles_when_useful():
+    pf = make(degree=1)
+    run_window(pf, useful=16)
+    assert pf.degree == 2
+    run_window(pf, useful=16)
+    assert pf.degree == 4
+
+
+def test_degree_capped_at_max(caplog):
+    pf = make(degree=1, max_degree=8)
+    for _ in range(10):
+        run_window(pf, useful=16)
+    assert pf.degree == 8
+
+
+def test_degree_halves_when_useless():
+    pf = make(degree=4)
+    run_window(pf, useful=0)
+    assert pf.degree == 2
+    run_window(pf, useful=1)  # 1/16 < 0.20
+    assert pf.degree == 1
+
+
+def test_degree_can_reach_zero_and_disables():
+    pf = make(degree=1)
+    run_window(pf, useful=0)
+    assert pf.degree == 0
+    assert not pf.enabled
+    assert pf.candidates(5) == []
+
+
+def test_middle_fraction_keeps_degree():
+    pf = make(degree=2)
+    run_window(pf, useful=6)  # 0.375: between the marks
+    assert pf.degree == 2
+
+
+def test_reenable_from_zero_on_sequential_misses():
+    # the third modulo-16 counter: misses whose predecessor is cached
+    # would have been prefetch hits -> turn prefetching back on
+    pf = make(degree=1)
+    run_window(pf, useful=0)
+    assert pf.degree == 0
+    for _ in range(16):
+        pf.on_demand_miss(predecessor_cached=True)
+    assert pf.degree == 1
+    assert pf.enabled
+
+
+def test_no_reenable_on_random_misses():
+    pf = make(degree=1)
+    run_window(pf, useful=0)
+    for _ in range(64):
+        pf.on_demand_miss(predecessor_cached=False)
+    assert pf.degree == 0
+
+
+def test_demand_miss_tracking_inactive_while_enabled():
+    pf = make(degree=2)
+    for _ in range(100):
+        pf.on_demand_miss(predecessor_cached=True)
+    assert pf.degree == 2  # only adapts through the prefetch window
+
+
+def test_adaptation_counters_reset_each_window():
+    pf = make(degree=2)
+    run_window(pf, useful=16)      # -> 4
+    run_window(pf, useful=0)       # -> 2 (useful counter was reset)
+    assert pf.degree == 2
+    assert pf.degree_increases == 1
+    assert pf.degree_decreases == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=16), min_size=1, max_size=30))
+def test_property_degree_stays_in_range(window_usefuls):
+    pf = make(degree=1, max_degree=8)
+    for useful in window_usefuls:
+        run_window(pf, useful=useful)
+        assert 0 <= pf.degree <= 8

@@ -1,0 +1,72 @@
+"""Tests for the processor model and its time decomposition."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.stats.counters import MachineStats, ProcessorStats
+
+
+class TestDecomposition:
+    def test_think_becomes_busy(self):
+        system = run_streams(tiny_config(), pad_streams([[("think", 123)]], 4))
+        assert system.stats.procs[0].busy == 123
+        assert system.stats.procs[0].finish_time == 123
+
+    def test_components_cover_execution_time(self):
+        a = 2 * 4096
+        ops = [("read", a), ("think", 50), ("write", a), ("read", a + BLOCK)]
+        system = run_streams(tiny_config(), pad_streams([ops], 4))
+        p = system.stats.procs[0]
+        # busy + stalls account for the full elapsed time
+        assert p.total_time == p.finish_time
+
+    def test_reference_counts(self):
+        lock = 4096
+        ops = [
+            ("read", 0), ("read", 0), ("write", 0),
+            ("acquire", lock), ("release", lock), ("barrier", 0),
+        ]
+        streams = [list(ops) for _ in range(4)]
+        system = run_streams(tiny_config(), streams)
+        for p in system.stats.procs:
+            assert p.shared_reads == 2
+            assert p.shared_writes == 1
+            assert p.shared_refs == 3
+            assert p.acquires == 1
+            assert p.releases == 1
+            assert p.barriers == 1
+
+    def test_execution_time_is_latest_finisher(self):
+        streams = pad_streams([[("think", 10)], [("think", 500)]], 4)
+        system = run_streams(tiny_config(), streams)
+        assert system.stats.execution_time == 500
+
+
+class TestMachineStats:
+    def test_miss_rate_percentages(self):
+        stats = MachineStats.for_nodes(2)
+        stats.procs[0].shared_reads = 80
+        stats.procs[1].shared_writes = 20
+        stats.caches[0].cold_misses = 5
+        stats.caches[0].demand_read_misses = 5
+        assert stats.miss_rate("cold") == 5.0
+        assert stats.miss_rate("total") == 5.0
+        assert stats.miss_rate("coherence") == 0.0
+
+    def test_miss_rate_empty_run(self):
+        stats = MachineStats.for_nodes(2)
+        assert stats.miss_rate("cold") == 0.0
+
+    def test_mean_aggregates(self):
+        stats = MachineStats.for_nodes(2)
+        stats.procs[0].busy = 10
+        stats.procs[1].busy = 30
+        assert stats.mean_busy == 20
+
+    def test_avg_read_miss_latency(self):
+        from repro.stats.counters import CacheStats
+
+        c = CacheStats()
+        assert c.avg_read_miss_latency == 0.0
+        c.read_miss_latency_total = 300
+        c.read_miss_latency_count = 2
+        assert c.avg_read_miss_latency == 150.0

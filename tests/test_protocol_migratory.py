@@ -1,0 +1,145 @@
+"""Integration tests for the migratory sharing optimization (M)."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.core.states import CacheState, MemoryState
+
+
+def rmw(addr, think=5):
+    return [("read", addr), ("think", think), ("write", addr)]
+
+
+def migratory_chain(addr, n_procs=3, gap=3000):
+    """Streams where procs 0..n-1 read-modify-write ``addr`` in turn."""
+    streams = []
+    for p in range(n_procs):
+        streams.append([("think", 1 + p * gap)] + rmw(addr))
+    return streams
+
+
+class TestDetection:
+    def test_two_rmw_sequences_deem_block_migratory(self):
+        cfg = tiny_config("M")
+        system = run_streams(cfg, pad_streams(migratory_chain(0, 2), 4))
+        entry = system.nodes[0].home.directory.entry(0)
+        assert entry.migratory
+        assert system.nodes[0].home.migratory_detections == 1
+
+    def test_no_detection_under_basic(self):
+        cfg = tiny_config("BASIC")
+        system = run_streams(cfg, pad_streams(migratory_chain(0, 2), 4))
+        assert not system.nodes[0].home.directory.entry(0).migratory
+
+    def test_single_writer_not_migratory(self):
+        cfg = tiny_config("M")
+        system = run_streams(
+            cfg, pad_streams([rmw(0) + [("think", 10)] + rmw(0)], 4)
+        )
+        assert not system.nodes[0].home.directory.entry(0).migratory
+
+    def test_read_only_sharing_not_migratory(self):
+        cfg = tiny_config("M")
+        streams = pad_streams(
+            [[("read", 0)], [("read", 0)], [("read", 0)]], 4
+        )
+        system = run_streams(cfg, streams)
+        assert not system.nodes[0].home.directory.entry(0).migratory
+
+
+class TestExclusiveGrants:
+    def test_third_rmw_needs_no_ownership_request(self):
+        cfg = tiny_config("M")
+        system = run_streams(cfg, pad_streams(migratory_chain(0, 3), 4))
+        # proc 2's read got an exclusive copy, so its write hit locally:
+        # only the first two writers sent ownership requests
+        own = sum(c.ownership_requests for c in system.stats.caches)
+        assert own == 2
+        entry = system.nodes[0].home.directory.entry(0)
+        assert entry.state is MemoryState.MODIFIED
+        assert entry.owner == 2
+
+    def test_basic_needs_ownership_every_time(self):
+        cfg = tiny_config("BASIC")
+        system = run_streams(cfg, pad_streams(migratory_chain(0, 3), 4))
+        assert sum(c.ownership_requests for c in system.stats.caches) == 3
+
+    def test_migratory_cuts_traffic(self):
+        basic = run_streams(
+            tiny_config("BASIC"), pad_streams(migratory_chain(0, 4, 4000), 4)
+        )
+        mig = run_streams(
+            tiny_config("M"), pad_streams(migratory_chain(0, 4, 4000), 4)
+        )
+        assert mig.stats.network.bytes < basic.stats.network.bytes
+
+
+class TestReversion:
+    def test_unmodified_exclusive_copy_reverts_the_block(self):
+        cfg = tiny_config("M")
+        streams = pad_streams(
+            migratory_chain(0, 2)
+            + [
+                # proc 2 reads (gets MIG_CLEAN) but never writes;
+                # proc 3's read then finds it unmodified -> revert
+                [("think", 8000), ("read", 0), ("think", 4000)],
+                [("think", 14000), ("read", 0)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        entry = system.nodes[0].home.directory.entry(0)
+        assert not entry.migratory
+        assert system.nodes[0].home.migratory_reversions >= 1
+
+    def test_mig_clean_write_upgrade_is_silent(self):
+        cfg = tiny_config("M")
+        streams = pad_streams(
+            migratory_chain(0, 2)
+            + [[("think", 9000)] + rmw(0)],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        line = system.nodes[2].cache.slc.lookup(0)
+        assert line is not None
+        assert line.state is CacheState.DIRTY
+        # the upgrade generated no ownership request
+        assert system.stats.caches[2].ownership_requests == 0
+
+    def test_second_reader_on_clean_migratory_reverts(self):
+        cfg = tiny_config("M", slc_size=1024)
+        conflict = 32 * BLOCK
+        streams = pad_streams(
+            migratory_chain(0, 2)
+            + [
+                # proc 2: gets exclusive migratory copy, then evicts it
+                # (writeback) leaving the block CLEAN and migratory
+                [("think", 8000), ("read", 0), ("write", 0),
+                 ("read", conflict), ("think", 4000)],
+                # procs 0 then 3 read: second reader reverts
+                [("think", 16000), ("read", 0)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        entry = system.nodes[0].home.directory.entry(0)
+        holders = [
+            n.node_id
+            for n in system.nodes
+            if n.cache.slc.lookup(0) is not None
+        ]
+        # after reversion, read sharing is possible again
+        assert len(holders) >= 1
+
+
+class TestHardwareCounters:
+    def test_detection_counter_matches_blocks(self):
+        cfg = tiny_config("M")
+        streams = pad_streams(
+            [
+                rmw(0) + rmw(BLOCK),
+                [("think", 4000)] + rmw(0) + rmw(BLOCK),
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        assert system.nodes[0].home.migratory_detections == 2

@@ -1,0 +1,124 @@
+"""Integration tests for adaptive sequential prefetching (P)."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.config import Consistency
+from repro.core.states import CacheState
+
+
+def seq_reads(base, n, stride=BLOCK, think=40):
+    ops = []
+    for i in range(n):
+        ops.append(("read", base + i * stride))
+        ops.append(("think", think))
+    return ops
+
+
+class TestPrefetchIssue:
+    def test_miss_triggers_prefetch_of_successors(self):
+        cfg = tiny_config("P")
+        system = run_streams(cfg, pad_streams([[("read", 0), ("think", 500)]], 4))
+        cache = system.stats.caches[0]
+        assert cache.prefetches_issued >= 1
+        # block 1 was prefetched and sits in the SLC, marked
+        line = system.nodes[0].cache.slc.lookup(1)
+        assert line is not None
+        assert line.prefetched
+
+    def test_sequential_stream_mostly_hits_after_warmup(self):
+        cfg = tiny_config("P")
+        system = run_streams(cfg, pad_streams([seq_reads(0, 30)], 4))
+        cache = system.stats.caches[0]
+        # far fewer demand misses than the 30 blocks touched
+        assert cache.demand_read_misses + cache.late_prefetch_hits < 30
+        assert cache.useful_prefetches > 10
+
+    def test_no_prefetch_under_basic(self):
+        cfg = tiny_config("BASIC")
+        system = run_streams(cfg, pad_streams([seq_reads(0, 10)], 4))
+        assert system.stats.caches[0].prefetches_issued == 0
+        assert system.stats.caches[0].demand_read_misses == 10
+
+    def test_prefetch_cuts_read_stall_on_sequential_stream(self):
+        basic = run_streams(
+            tiny_config("BASIC"), pad_streams([seq_reads(0, 40)], 4)
+        )
+        pref = run_streams(tiny_config("P"), pad_streams([seq_reads(0, 40)], 4))
+        assert (
+            pref.stats.procs[0].read_stall < basic.stats.procs[0].read_stall
+        )
+
+    def test_prefetched_lines_count_useful_once(self):
+        cfg = tiny_config("P")
+        system = run_streams(
+            cfg,
+            pad_streams(
+                [[("read", 0), ("think", 800), ("read", BLOCK),
+                  ("read", BLOCK), ("read", BLOCK)]],
+                4,
+            ),
+        )
+        assert system.stats.caches[0].useful_prefetches == 1
+
+    def test_prefetch_works_under_sc(self):
+        # non-binding prefetching is legal under any consistency model
+        cfg = tiny_config("P", consistency=Consistency.SC)
+        system = run_streams(cfg, pad_streams([seq_reads(0, 20)], 4))
+        assert system.stats.caches[0].prefetches_issued > 0
+
+
+class TestPrefetchCoherence:
+    def test_prefetched_copy_is_invalidated_like_any_other(self):
+        cfg = tiny_config("P")
+        a2 = BLOCK  # prefetched by node 0's read of block 0
+        streams = pad_streams(
+            [
+                [("read", 0), ("think", 4000)],
+                [("think", 1000), ("write", a2)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        line = system.nodes[0].cache.slc.lookup(1)
+        assert line is None  # the prefetched copy was invalidated
+
+    def test_prefetch_under_pm_gets_exclusive_copy(self):
+        # P+M: prefetch misses to migratory blocks retrieve exclusive
+        # copies -- hardware read-exclusive prefetching (§3.4)
+        cfg = tiny_config("P+M")
+        a = 0
+        b = BLOCK
+        streams = pad_streams(
+            [
+                # make blocks 0 and 1 migratory via two rmw sequences
+                [("read", a), ("write", a), ("read", b), ("write", b),
+                 ("think", 8000)],
+                [("think", 2000), ("read", a), ("write", a),
+                 ("read", b), ("write", b), ("think", 6000)],
+                # node 2's read of block 0 prefetches block 1 exclusively
+                [("think", 5000), ("read", a), ("write", a), ("think", 100),
+                 ("read", b), ("write", b)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        # node 2 ends up owning both blocks without extra upgrades:
+        # its writes hit MIG_CLEAN copies
+        line = system.nodes[2].cache.slc.lookup(1)
+        assert line is not None
+        assert line.state is CacheState.DIRTY
+
+
+class TestSlwbPressure:
+    def test_prefetches_dropped_when_slwb_full(self):
+        # a 2-entry SLWB leaves no room for prefetches beyond pending ops
+        cfg = tiny_config("P", slwb_entries=2)
+        system = run_streams(cfg, pad_streams([seq_reads(0, 20, think=2)], 4))
+        big = run_streams(
+            tiny_config("P", slwb_entries=16),
+            pad_streams([seq_reads(0, 20, think=2)], 4),
+        )
+        assert (
+            system.stats.caches[0].prefetches_issued
+            <= big.stats.caches[0].prefetches_issued
+        )

@@ -1,0 +1,130 @@
+"""Property-based protocol tests: random programs, global invariants.
+
+Hypothesis generates random per-processor reference streams (reads,
+writes, critical sections); every protocol / consistency / cache-size
+combination must run them to completion and end in a globally coherent
+state (single-writer-multiple-readers, directory agreement, inclusion,
+quiescence).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ALL_PROTOCOLS,
+    SC_PROTOCOLS,
+    CacheConfig,
+    Consistency,
+    NetworkConfig,
+    NetworkKind,
+    SystemConfig,
+)
+from repro.core.invariants import check_all
+from repro.system import System
+
+BLOCK = 32
+N_PROCS = 4
+LOCK_BASE = 0x10000
+
+
+def _stream_from_choices(choices, pid):
+    """Decode a list of (kind, value) draws into a legal op stream."""
+    ops = []
+    in_cs = False
+    lock = LOCK_BASE
+    for kind, value in choices:
+        if kind == "lock":
+            if in_cs:
+                ops.append(("release", lock))
+                in_cs = False
+            else:
+                lock = LOCK_BASE + (value % 3) * 4096
+                ops.append(("acquire", lock))
+                in_cs = True
+        elif kind == "read":
+            ops.append(("read", (value % 48) * BLOCK + (value % 8) * 4))
+        elif kind == "write":
+            ops.append(("write", (value % 48) * BLOCK + (value % 8) * 4))
+        else:
+            ops.append(("think", 1 + value % 9))
+    if in_cs:
+        ops.append(("release", lock))
+    ops.append(("barrier", 0))
+    return ops
+
+
+op_draw = st.tuples(
+    st.sampled_from(["read", "write", "think", "lock"]),
+    st.integers(min_value=0, max_value=10_000),
+)
+program = st.lists(
+    st.lists(op_draw, min_size=0, max_size=60),
+    min_size=N_PROCS,
+    max_size=N_PROCS,
+)
+
+
+def _run(protocol, consistency, slc_size, proc_choices, network=None):
+    cfg = SystemConfig(
+        n_procs=N_PROCS,
+        consistency=consistency,
+        cache=CacheConfig(slc_size=slc_size, flwb_entries=2, slwb_entries=4),
+        network=network or NetworkConfig(),
+    ).with_protocol(protocol)
+    streams = [
+        _stream_from_choices(choices, pid)
+        for pid, choices in enumerate(proc_choices)
+    ]
+    system = System(cfg)
+    system.run(streams, max_events=2_000_000)
+    check_all(system)
+    return system
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proc_choices=program)
+def test_rc_protocols_preserve_coherence(protocol, proc_choices):
+    _run(protocol, Consistency.RC, None, proc_choices)
+
+
+@pytest.mark.parametrize("protocol", SC_PROTOCOLS)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proc_choices=program)
+def test_sc_protocols_preserve_coherence(protocol, proc_choices):
+    _run(protocol, Consistency.SC, None, proc_choices)
+
+
+@pytest.mark.parametrize("protocol", ["BASIC", "P+CW+M", "P+M", "P+CW"])
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proc_choices=program)
+def test_bounded_slc_preserves_coherence(protocol, proc_choices):
+    # a 1-KB SLC forces evictions, writebacks and victim-buffer fetches
+    _run(protocol, Consistency.RC, 1024, proc_choices)
+
+
+@pytest.mark.parametrize("protocol", ["BASIC", "P+CW+M"])
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proc_choices=program)
+def test_mesh_transport_preserves_coherence(protocol, proc_choices):
+    # the narrowest mesh maximizes reordering pressure across paths
+    net = NetworkConfig(kind=NetworkKind.MESH, link_width_bits=16)
+    _run(protocol, Consistency.RC, 1024, proc_choices, network=net)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proc_choices=program)
+def test_deterministic_replay(proc_choices):
+    """The same program always produces identical statistics."""
+    a = _run("P+CW+M", Consistency.RC, 1024, proc_choices)
+    b = _run("P+CW+M", Consistency.RC, 1024, proc_choices)
+    assert a.stats.execution_time == b.stats.execution_time
+    assert a.stats.network.bytes == b.stats.network.bytes
+    for pa, pb in zip(a.stats.procs, b.stats.procs):
+        assert pa.total_time == pb.total_time

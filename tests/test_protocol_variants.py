@@ -1,0 +1,161 @@
+"""Integration tests for the protocol variants beyond the paper's four:
+classic competitive update (ref [10]) and fixed-degree prefetching
+(ref [3])."""
+
+from conftest import BLOCK, pad_streams, run_streams, tiny_config
+
+from repro.config import (
+    CacheConfig,
+    CompetitiveConfig,
+    Consistency,
+    PrefetchConfig,
+    ProtocolConfig,
+    SystemConfig,
+)
+from repro.core.invariants import check_all
+from repro.system import System
+
+
+def classic_cw_config(n_procs=4, threshold=4, **cache_kw):
+    proto = ProtocolConfig(
+        competitive_update=True,
+        competitive_params=CompetitiveConfig(
+            threshold=threshold, use_write_cache=False
+        ),
+    )
+    return SystemConfig(
+        n_procs=n_procs, protocol=proto, cache=CacheConfig(**cache_kw)
+    )
+
+
+def fixed_p_config(degree, n_procs=4):
+    proto = ProtocolConfig(
+        prefetch=True,
+        prefetch_params=PrefetchConfig(initial_degree=degree, adaptive=False),
+    )
+    return SystemConfig(n_procs=n_procs, protocol=proto)
+
+
+class TestClassicCompetitiveUpdate:
+    def test_every_write_propagates_an_update(self):
+        cfg = classic_cw_config()
+        a = 2 * 4096
+        streams = pad_streams(
+            [
+                [("read", a), ("write", a), ("write", a + 4),
+                 ("write", a + 8), ("think", 4000)],
+                [("read", a), ("think", 8000)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        # no combining: one flush per write
+        assert system.stats.caches[0].write_cache_flushes == 3
+
+    def test_write_cache_combines_the_same_writes(self):
+        cfg = tiny_config("CW")
+        a = 2 * 4096
+        streams = pad_streams(
+            [
+                [("read", a), ("write", a), ("write", a + 4),
+                 ("write", a + 8), ("barrier", 0)],
+                [("read", a), ("barrier", 0)],
+                [("barrier", 0)],
+                [("barrier", 0)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        assert system.stats.caches[0].write_cache_flushes == 1
+
+    def test_threshold_four_keeps_idle_copies_longer(self):
+        def drops(threshold):
+            cfg = classic_cw_config(threshold=threshold)
+            a = 2 * 4096
+            streams = pad_streams(
+                [
+                    [("read", a)] + [("write", a)] * 6 + [("think", 4000)],
+                    [("read", a), ("think", 9000)],
+                ],
+                4,
+            )
+            system = run_streams(cfg, streams)
+            return system.stats.caches[1].updates_dropped
+
+        assert drops(2) >= 1
+        assert drops(8) == 0
+
+    def test_invariants_with_small_buffers(self):
+        cfg = classic_cw_config(slwb_entries=2, flwb_entries=2)
+        a = 2 * 4096
+        ops = []
+        for i in range(20):
+            ops.append(("write", a + (i % 3) * BLOCK))
+            ops.append(("think", 3))
+        system = System(cfg)
+        system.run(pad_streams([ops, [("read", a), ("think", 6000)]], 4))
+        check_all(system)
+
+    def test_release_waits_for_outstanding_updates(self):
+        cfg = classic_cw_config()
+        a = 2 * 4096
+        lock = 3 * 4096
+        streams = pad_streams(
+            [
+                [("acquire", lock)] + [("write", a + i * BLOCK) for i in range(4)]
+                + [("release", lock)],
+                [("think", 120), ("acquire", lock), ("release", lock)],
+            ],
+            4,
+        )
+        system = run_streams(cfg, streams)
+        assert system.stats.procs[1].acquire_stall > 100
+
+
+class TestFixedPrefetching:
+    def seq(self, n=24, think=40):
+        return [op for i in range(n)
+                for op in (("read", i * BLOCK), ("think", think))]
+
+    def test_degree_never_adapts(self):
+        system = run_streams(fixed_p_config(4), pad_streams([self.seq()], 4))
+        for node in system.nodes:
+            if node.cache.prefetcher:
+                assert node.cache.prefetcher.degree == 4
+                assert node.cache.prefetcher.degree_increases == 0
+                assert node.cache.prefetcher.degree_decreases == 0
+
+    def test_fixed_prefetching_still_cuts_misses(self):
+        basic = run_streams(tiny_config(), pad_streams([self.seq()], 4))
+        fixed = run_streams(fixed_p_config(4), pad_streams([self.seq()], 4))
+        assert (
+            sum(c.demand_read_misses for c in fixed.stats.caches)
+            < sum(c.demand_read_misses for c in basic.stats.caches)
+        )
+
+    def test_fixed_high_degree_sprays_useless_prefetches_at_random_streams(self):
+        import random
+
+        rng = random.Random(3)
+        ops = []
+        for _ in range(60):
+            ops.append(("read", rng.randrange(4096) * BLOCK))
+            ops.append(("think", 30))
+        fixed = run_streams(fixed_p_config(8), pad_streams([list(ops)], 4))
+        adaptive = run_streams(tiny_config("P"), pad_streams([list(ops)], 4))
+        assert (
+            sum(c.prefetches_issued for c in adaptive.stats.caches)
+            < sum(c.prefetches_issued for c in fixed.stats.caches)
+        )
+
+    def test_fixed_prefetching_under_sc(self):
+        cfg = SystemConfig(
+            n_procs=4,
+            consistency=Consistency.SC,
+            protocol=ProtocolConfig(
+                prefetch=True,
+                prefetch_params=PrefetchConfig(initial_degree=2, adaptive=False),
+            ),
+        )
+        system = run_streams(cfg, pad_streams([self.seq()], 4))
+        assert sum(c.prefetches_issued for c in system.stats.caches) > 0

@@ -1,0 +1,77 @@
+"""Tests for the PTHOR extension workload (ref [3]'s sixth program)."""
+
+from repro.config import SystemConfig
+from repro.core.invariants import check_all
+from repro.experiments.runner import run_once
+from repro.mem.addrmap import AddressMap
+from repro.stats.sharing import Pattern, analyze
+from repro.system import System
+from repro.workloads import ALL_APP_NAMES, APP_NAMES, build_workload
+
+CFG = SystemConfig()
+
+
+class TestRegistry:
+    def test_pthor_is_an_extension_not_a_paper_app(self):
+        assert "pthor" in ALL_APP_NAMES
+        assert "pthor" not in APP_NAMES
+
+    def test_builds_and_runs(self):
+        streams = build_workload("pthor", CFG, scale=0.4)
+        assert len(streams) == CFG.n_procs
+        system = System(CFG)
+        system.run(streams)
+        check_all(system)
+
+
+class TestSignature:
+    def test_elements_are_migratory(self):
+        streams = build_workload("pthor", CFG, scale=0.5)
+        profile = analyze(streams, AddressMap(n_nodes=CFG.n_procs))
+        census = profile.census()
+        assert census[Pattern.MIGRATORY] > 20
+
+    def test_critical_sections_balanced(self):
+        for ops in build_workload("pthor", CFG, scale=0.5):
+            depth = 0
+            for op in ops:
+                if op[0] == "acquire":
+                    depth += 1
+                elif op[0] == "release":
+                    depth -= 1
+                assert 0 <= depth <= 1
+            assert depth == 0
+
+
+class TestProtocolBehaviour:
+    def test_migratory_optimization_shines(self):
+        # short runs (scale 0.5) only revisit each element a couple of
+        # times; full-scale runs cut ownership requests by ~40 %
+        basic = run_once("pthor", protocol="BASIC", scale=0.5)
+        mig = run_once("pthor", protocol="M", scale=0.5)
+        basic_own = sum(c.ownership_requests for c in basic.stats.caches)
+        mig_own = sum(c.ownership_requests for c in mig.stats.caches)
+        assert mig_own < basic_own * 0.85
+        assert mig.stats.network.bytes < basic.stats.network.bytes
+        detections = sum(
+            n.home.migratory_detections for n in mig.system.nodes
+        )
+        assert detections >= 40  # the circuit elements migrate
+
+    def test_prefetching_adapts_itself_off(self):
+        # irregular fan-in reads: the adaptive scheme must not keep
+        # spraying prefetches at them
+        res = run_once("pthor", protocol="P", scale=0.5)
+        degrees = [
+            n.cache.prefetcher.degree
+            for n in res.system.nodes
+            if n.cache.prefetcher is not None
+        ]
+        assert sum(degrees) <= len(degrees)  # average degree <= 1
+
+    def test_prefetching_gains_little(self):
+        basic = run_once("pthor", protocol="BASIC", scale=0.5)
+        p = run_once("pthor", protocol="P", scale=0.5)
+        # within a few percent of BASIC either way: P is a no-op here
+        ratio = p.execution_time / basic.execution_time
+        assert 0.9 < ratio < 1.1

@@ -1,0 +1,31 @@
+"""Tests for the machine-size scaling experiment driver."""
+
+from repro.experiments import scaling
+
+
+def test_runs_at_tiny_scale():
+    data = scaling.run(app="water", scale=0.3, sizes=(4, 9))
+    assert set(data) == {4, 9}
+    for n, per_proto in data.items():
+        assert set(per_proto) == set(scaling.PROTOCOLS)
+        exec_time, rel, net = per_proto["BASIC"]
+        assert exec_time > 0
+        assert rel == 1.0
+        assert net >= 0
+
+
+def test_render_contains_sizes():
+    data = scaling.run(app="water", scale=0.3, sizes=(4, 9))
+    text = scaling.render(data, app="water")
+    assert "4 procs" in text and "9 procs" in text
+    assert "P+CW" in text
+
+
+def test_workloads_shrink_with_fewer_processors():
+    from repro.config import SystemConfig
+    from repro.workloads import build_workload
+
+    small = build_workload("water", SystemConfig(n_procs=4), scale=0.3)
+    large = build_workload("water", SystemConfig(n_procs=16), scale=0.3)
+    assert len(small) == 4
+    assert len(large) == 16

@@ -1,0 +1,156 @@
+"""Tests for the sharing-pattern analyzer."""
+
+from repro.config import SystemConfig
+from repro.mem.addrmap import AddressMap
+from repro.stats.sharing import (
+    BlockUsage,
+    Pattern,
+    analyze,
+    classify_block,
+    collect_usage,
+)
+from repro.workloads import build_workload
+
+AMAP = AddressMap(n_nodes=4)
+B = 32
+
+
+class TestCollectUsage:
+    def test_counts_reads_and_writes(self):
+        streams = [[("read", 0), ("write", 4)], [("read", 0)]]
+        usage = collect_usage(streams, AMAP)
+        assert usage[0].reads == 2
+        assert usage[0].writes == 1
+        assert usage[0].readers == {0, 1}
+        assert usage[0].writers == {0}
+
+    def test_rmw_burst_detection(self):
+        streams = [[("read", 0), ("think", 3), ("write", 0)]]
+        usage = collect_usage(streams, AMAP)
+        assert usage[0].rmw_bursts[0] == 1
+
+    def test_intervening_access_breaks_burst(self):
+        streams = [[("read", 0), ("read", B), ("write", 0)]]
+        usage = collect_usage(streams, AMAP)
+        assert usage[0].rmw_bursts[0] == 0
+
+    def test_sync_ops_break_bursts_but_are_not_accesses(self):
+        streams = [[("read", 0), ("barrier", 0), ("write", 0)]]
+        usage = collect_usage(streams, AMAP)
+        assert usage[0].rmw_bursts[0] == 0
+        assert usage[0].reads == 1 and usage[0].writes == 1
+
+
+class TestClassification:
+    def test_private(self):
+        streams = [[("read", 0), ("write", 0)], []]
+        profile = analyze(streams, AMAP)
+        assert profile.blocks[0] is Pattern.PRIVATE
+
+    def test_read_only(self):
+        streams = [[("read", 0)], [("read", 0)], [("read", 0)]]
+        profile = analyze(streams, AMAP)
+        assert profile.blocks[0] is Pattern.READ_ONLY
+
+    def test_migratory(self):
+        streams = [
+            [("read", 0), ("write", 0)],
+            [("read", 0), ("write", 0)],
+            [("read", 0), ("write", 0)],
+        ]
+        profile = analyze(streams, AMAP)
+        assert profile.blocks[0] is Pattern.MIGRATORY
+
+    def test_producer_consumer(self):
+        streams = [
+            [("write", 0), ("write", 0)],
+            [("read", 0)],
+            [("read", 0)],
+            [("read", 0)],
+        ]
+        profile = analyze(streams, AMAP)
+        assert profile.blocks[0] is Pattern.PRODUCER_CONSUMER
+
+    def test_irregular_read_write(self):
+        # two writers that never read-modify-write, one reader
+        streams = [
+            [("write", 0)],
+            [("write", 0), ("read", 0)],
+        ]
+        usage = collect_usage(streams, AMAP)
+        assert classify_block(usage[0]) in (
+            Pattern.READ_WRITE,
+            Pattern.PRODUCER_CONSUMER,
+        )
+
+
+class TestProfileAggregates:
+    def test_census_and_reference_census(self):
+        streams = [
+            [("read", 0), ("read", B), ("write", B)],
+            [("read", 0)],
+        ]
+        profile = analyze(streams, AMAP)
+        census = profile.census()
+        assert census[Pattern.READ_ONLY] == 1
+        assert census[Pattern.PRIVATE] == 1
+        refs = profile.reference_census()
+        assert refs[Pattern.READ_ONLY] == 2
+        assert refs[Pattern.PRIVATE] == 2
+
+    def test_fraction_of_refs(self):
+        streams = [[("read", 0)], [("read", 0)]]
+        profile = analyze(streams, AMAP)
+        assert profile.fraction_of_refs(Pattern.READ_ONLY) == 1.0
+        assert profile.fraction_of_refs(Pattern.MIGRATORY) == 0.0
+
+    def test_blocks_of(self):
+        streams = [[("read", 0)], [("read", 0)]]
+        profile = analyze(streams, AMAP)
+        assert profile.blocks_of(Pattern.READ_ONLY) == [0]
+
+
+class TestWorkloadSignatures:
+    """The synthetic applications carry their claimed signatures."""
+
+    def _profile(self, app):
+        cfg = SystemConfig()
+        streams = build_workload(app, cfg, scale=0.5)
+        amap = AddressMap(n_nodes=cfg.n_procs)
+        return analyze(streams, amap)
+
+    def test_mp3d_is_dominated_by_migratory_cells(self):
+        profile = self._profile("mp3d")
+        assert profile.fraction_of_refs(Pattern.MIGRATORY) > 0.10
+        assert profile.census()[Pattern.MIGRATORY] >= 30  # the cells
+
+    def test_cholesky_has_migratory_columns(self):
+        profile = self._profile("cholesky")
+        assert profile.census()[Pattern.MIGRATORY] > 0
+
+    def test_water_positions_are_producer_consumer(self):
+        profile = self._profile("water")
+        census = profile.census()
+        assert census[Pattern.PRODUCER_CONSUMER] > 0
+        assert census[Pattern.MIGRATORY] > 0  # the force records
+
+    def test_lu_mixes_private_blocks_and_pivot_sharing(self):
+        profile = self._profile("lu")
+        census = profile.census()
+        assert census[Pattern.PRIVATE] > 0
+        # pivot panels: written by the owner, read by the row/column
+        assert census[Pattern.PRODUCER_CONSUMER] > 0
+
+    def test_ocean_boundary_is_shared_interior_private(self):
+        profile = self._profile("ocean")
+        census = profile.census()
+        assert census[Pattern.PRIVATE] > census[Pattern.READ_WRITE]
+        shared = sum(
+            census[p]
+            for p in (
+                Pattern.PRODUCER_CONSUMER,
+                Pattern.READ_WRITE,
+                Pattern.MIGRATORY,
+            )
+        )
+        assert shared > 0

@@ -1,0 +1,80 @@
+"""Tests for the System top-level API and node assembly."""
+
+import pytest
+from conftest import pad_streams, tiny_config
+
+from repro.sim.engine import SimulationError
+from repro.system import System, run_system
+
+
+class TestRun:
+    def test_wrong_stream_count_rejected(self):
+        system = System(tiny_config())
+        with pytest.raises(ValueError, match="workload streams"):
+            system.run([[]])
+
+    def test_event_budget_guard(self):
+        system = System(tiny_config())
+        streams = pad_streams([[("read", i * 32) for i in range(50)]], 4)
+        with pytest.raises(SimulationError, match="budget"):
+            system.run(streams, max_events=10)
+
+    def test_run_system_helper(self):
+        stats = run_system(tiny_config(), pad_streams([[("think", 5)]], 4))
+        assert stats.execution_time == 5
+
+    def test_empty_streams_complete_at_time_zero(self):
+        stats = run_system(tiny_config(), [[], [], [], []])
+        assert stats.execution_time == 0
+
+    def test_unknown_op_rejected(self):
+        system = System(tiny_config())
+        with pytest.raises(SimulationError, match="unknown workload op"):
+            system.run(pad_streams([[("jump", 0)]], 4))
+
+
+class TestNodeAssembly:
+    def test_sixteen_nodes_by_default(self):
+        from repro.config import SystemConfig
+
+        system = System(SystemConfig())
+        assert len(system.nodes) == 16
+        for i, node in enumerate(system.nodes):
+            assert node.node_id == i
+            assert node.cache.node_id == i
+            assert node.home.node_id == i
+
+    def test_per_node_resources_are_distinct(self):
+        system = System(tiny_config())
+        buses = {id(n.bus) for n in system.nodes}
+        assert len(buses) == len(system.nodes)
+
+    def test_protocol_wiring(self):
+        system = System(tiny_config("P+CW"))
+        for node in system.nodes:
+            assert node.cache.prefetcher is not None
+            assert node.cache.wcache is not None
+        basic = System(tiny_config())
+        for node in basic.nodes:
+            assert node.cache.prefetcher is None
+            assert node.cache.wcache is None
+
+    def test_stats_shared_between_system_and_nodes(self):
+        system = System(tiny_config())
+        assert system.nodes[0].cache.stats is system.stats.caches[0]
+
+
+class TestDeadlockDiagnostics:
+    def test_unfinished_processors_reported(self):
+        # a barrier only half the processors reach can never complete
+        streams = [[("barrier", 0)], [("barrier", 0)], [], []]
+        system = System(tiny_config())
+        with pytest.raises(SimulationError, match="unfinished"):
+            system.run(streams)
+        # the error names the stuck processors
+        try:
+            System(tiny_config()).run(
+                [[("barrier", 1)], [("barrier", 1)], [], []]
+            )
+        except SimulationError as exc:
+            assert "[0, 1]" in str(exc)

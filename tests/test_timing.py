@@ -1,0 +1,155 @@
+"""Exact-latency tests for the canonical protocol paths.
+
+These pin the timing model (paper §4) against regressions: if a
+latency constant or a charging path changes, these fail loudly.
+"""
+
+from conftest import pad_streams, run_streams, tiny_config
+
+from repro.config import TimingConfig
+
+T = TimingConfig()
+
+
+def bus(size_bytes: int) -> int:
+    """Pclocks one bus transaction of ``size_bytes`` takes."""
+    cycles = max(1, -(-size_bytes // T.bus_width_bytes))
+    return cycles * T.bus_transaction
+
+
+#: control message (8 B header) and block reply (8 + 32 B) bus costs
+BUS_CTRL = bus(8)
+BUS_DATA = bus(40)
+
+
+def read_stall_of(addr, n_procs=4):
+    system = run_streams(
+        tiny_config(n_procs=n_procs), pad_streams([[("read", addr)]], n_procs)
+    )
+    return system.stats.procs[0].read_stall
+
+
+class TestReadLatencies:
+    def test_local_clean_miss(self):
+        # FLC(1, busy) + SLC(6) + request bus(3) + memory(24)
+        # + reply bus(6: header + block = 2 bus cycles)
+        # + SLC fill(6) + FLC fill(3) = 48 stall cycles
+        expected = (
+            T.slc_access
+            + BUS_CTRL
+            + T.memory_latency
+            + BUS_DATA
+            + T.slc_access
+            + T.flc_fill
+        )
+        assert read_stall_of(0) == expected
+
+    def test_remote_clean_miss(self):
+        # adds two 54-cycle hops plus the destination-side bus
+        # transactions (control request in, data reply in)
+        local = read_stall_of(0)
+        remote = read_stall_of(4096)
+        assert remote == local + 2 * 54 + BUS_CTRL + BUS_DATA
+
+    def test_paper_local_memory_access_constant(self):
+        assert T.local_memory_access == 30
+
+    def test_flc_hit_costs_one_cycle(self):
+        system = run_streams(
+            tiny_config(),
+            pad_streams([[("read", 0), ("read", 0), ("read", 0)]], 4),
+        )
+        p = system.stats.procs[0]
+        # 3 busy cycles (1 per read), stall only on the first
+        assert p.busy == 3
+        assert p.read_stall == read_stall_of(0)
+
+    def test_slc_hit_after_flc_conflict(self):
+        # two blocks conflicting in the FLC but both resident in the
+        # SLC: the second read of each is an SLC hit, not a miss
+        a, b = 0, 128 * 32  # same FLC set (128 sets), different SLC lines
+        system = run_streams(
+            tiny_config(),
+            pad_streams([[("read", a), ("read", b), ("read", a)]], 4),
+        )
+        assert system.stats.caches[0].demand_read_misses == 2
+
+
+class TestWriteLatencies:
+    def test_rc_buffered_write_costs_one_cycle(self):
+        system = run_streams(
+            tiny_config(), pad_streams([[("write", 4096), ("think", 3000)]], 4)
+        )
+        p = system.stats.procs[0]
+        assert p.write_stall == 0
+        assert p.busy == 1 + 3000
+
+    def test_sc_write_miss_latency_exceeds_read_miss(self):
+        from repro.config import Consistency
+
+        cfg = tiny_config(consistency=Consistency.SC)
+        system = run_streams(cfg, pad_streams([[("write", 4096)]], 4))
+        # the RDX round trip equals a read's minus the FLC lookup and
+        # fill (writes bypass the FLC; write-through, no-allocate)
+        expected = read_stall_of(4096) - T.flc_hit - T.flc_fill
+        assert system.stats.procs[0].write_stall == expected
+
+
+class TestLockLatencies:
+    def test_uncontended_remote_lock_round_trip(self):
+        lock = 4096
+        system = run_streams(
+            tiny_config(), pad_streams([[("acquire", lock)]], 4)
+        )
+        # LOCK_REQ hop + memory + LOCK_GRANT hop (+ buses), minus the
+        # one busy cycle charged to the processor
+        expected = (
+            2 * 54 + 4 * T.bus_transaction + T.memory_latency - T.flc_hit
+        )
+        assert system.stats.procs[0].acquire_stall == expected
+
+    def test_local_lock_is_much_cheaper(self):
+        system = run_streams(
+            tiny_config(), pad_streams([[("acquire", 0)]], 4)
+        )
+        assert system.stats.procs[0].acquire_stall < 60
+
+
+class TestMemoryInterleaving:
+    def test_adjacent_blocks_hit_different_banks(self):
+        # concurrent misses to consecutive blocks of one home node are
+        # served by different banks: only the shared bus serializes
+        a = 4096
+        streams = pad_streams([[("read", a)], [("read", a + 32)]], 4)
+        system = run_streams(tiny_config(), streams)
+        stalls = [system.stats.procs[i].read_stall for i in (0, 1)]
+        base = read_stall_of(a)
+        assert max(stalls) <= base + BUS_CTRL + BUS_DATA
+
+    def test_same_bank_conflict_serializes(self):
+        # blocks `memory_banks` apart map to the same bank: the second
+        # access waits out most of the first one's latency.  Both
+        # requesters are remote to the home (node 1) so the requests
+        # arrive nearly together.
+        a = 4096
+        conflict = a + T.memory_banks * 32
+        streams = [[("read", a)], [], [("read", conflict)], []]
+        system = run_streams(tiny_config(), streams)
+        slow = max(
+            system.stats.procs[0].read_stall,
+            system.stats.procs[2].read_stall,
+        )
+        assert slow >= read_stall_of(a) + T.memory_latency - BUS_DATA
+
+    def test_different_banks_do_not_serialize(self):
+        a = 4096
+        streams = [[("read", a)], [], [("read", a + 32)], []]
+        system = run_streams(tiny_config(), streams)
+        slow = max(
+            system.stats.procs[0].read_stall,
+            system.stats.procs[2].read_stall,
+        )
+        assert slow < read_stall_of(a) + T.memory_latency - BUS_DATA
+
+    def test_eight_banks_by_default(self):
+        assert T.memory_banks == 8

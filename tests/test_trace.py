@@ -1,0 +1,147 @@
+"""Tests for the trace subsystem (message tracer + stream files)."""
+
+import pytest
+from conftest import pad_streams, tiny_config
+
+from repro.system import System
+from repro.trace import (
+    MessageTracer,
+    TraceFormatError,
+    load_streams,
+    save_streams,
+)
+
+
+class TestMessageTracer:
+    def _traced_run(self, **kw):
+        system = System(tiny_config())
+        tracer = MessageTracer.attach(system, **kw)
+        streams = pad_streams(
+            [
+                [("read", 4096), ("write", 4096)],
+                [("think", 3000), ("read", 4096)],
+            ],
+            4,
+        )
+        system.run(streams)
+        return tracer
+
+    def test_records_protocol_messages(self):
+        tracer = self._traced_run()
+        assert len(tracer) > 0
+        census = tracer.census()
+        assert census["RD_REQ"] >= 2
+        assert census["RD_RPL"] >= 2
+
+    def test_block_filter(self):
+        block = 4096 // 32
+        tracer = self._traced_run(block=block)
+        assert len(tracer) > 0
+        assert all(r.block == block for r in tracer)
+
+    def test_for_block_query(self):
+        tracer = self._traced_run()
+        block = 4096 // 32
+        records = tracer.for_block(block)
+        assert records
+        assert records == sorted(records, key=lambda r: r.time)
+        # the life of the block starts with node 0's read request
+        assert records[0].mtype == "RD_REQ"
+        assert records[0].src == 0
+
+    def test_between_and_of_type(self):
+        tracer = self._traced_run()
+        t_end = max(r.time for r in tracer)
+        assert tracer.between(0, t_end + 1)
+        assert tracer.of_type("RD_REQ")
+        assert not tracer.of_type("NO_SUCH_TYPE")
+
+    def test_bytes_by_type(self):
+        tracer = self._traced_run()
+        by_type = tracer.bytes_by_type()
+        assert by_type["RD_RPL"] % 40 == 0  # header (8) + block (32) each
+
+    def test_capacity_bound(self):
+        tracer = self._traced_run(capacity=3)
+        assert len(tracer) == 3
+
+    def test_dump_is_readable(self):
+        tracer = self._traced_run()
+        text = tracer.dump()
+        assert "RD_REQ" in text and "->" in text
+
+
+class TestStreamFiles:
+    STREAMS = [
+        [("think", 4), ("read", 0x2000), ("write", 0x2004)],
+        [("acquire", 0x8000), ("release", 0x8000), ("barrier", 0)],
+    ]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.trace"
+        save_streams(self.STREAMS, path)
+        assert load_streams(path) == [
+            [("think", 4), ("read", 0x2000), ("write", 0x2004)],
+            [("acquire", 0x8000), ("release", 0x8000), ("barrier", 0)],
+        ]
+
+    def test_file_is_human_readable(self, tmp_path):
+        path = tmp_path / "x.trace"
+        save_streams(self.STREAMS, path)
+        text = path.read_text()
+        assert text.startswith("# repro-trace v1")
+        assert "r 0x2000" in text
+        assert "P1" in text
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text(
+            "# repro-trace v1  procs=1\n"
+            "\nP0\n"
+            "r 0x100  # inline comment\n"
+            "# whole-line comment\n"
+            "t 3\n"
+        )
+        assert load_streams(path) == [[("read", 0x100), ("think", 3)]]
+
+    def test_decimal_addresses_accepted(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("# repro-trace v1  procs=1\nP0\nr 256\n")
+        assert load_streams(path) == [[("read", 256)]]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("P0\nr 1\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_streams(path)
+
+    def test_bad_op_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("# repro-trace v1  procs=1\nP0\nz 3\n")
+        with pytest.raises(TraceFormatError, match="bad op"):
+            load_streams(path)
+
+    def test_op_before_processor_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("# repro-trace v1  procs=1\nr 3\n")
+        with pytest.raises(TraceFormatError, match="before"):
+            load_streams(path)
+
+    def test_negative_operand_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("# repro-trace v1  procs=1\nP0\nt -3\n")
+        with pytest.raises(TraceFormatError):
+            load_streams(path)
+
+    def test_trace_driven_simulation(self, tmp_path):
+        """A saved workload replays to identical statistics."""
+        from repro.workloads import build_workload
+
+        cfg = tiny_config()
+        streams = build_workload("water", cfg, scale=0.2)
+        path = tmp_path / "water.trace"
+        save_streams(streams, path)
+        direct = System(cfg).run(streams)
+        replayed = System(cfg).run(load_streams(path))
+        assert direct.execution_time == replayed.execution_time
+        assert direct.network.bytes == replayed.network.bytes

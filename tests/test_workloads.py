@@ -1,0 +1,133 @@
+"""Tests for the five synthetic workload generators."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.workloads import APP_NAMES, WORKLOADS, build_workload
+
+CFG = SystemConfig()
+
+VALID_OPS = {"think", "read", "write", "acquire", "release", "barrier"}
+
+
+def _scan(streams):
+    """Collect basic structural facts about a set of streams."""
+    facts = []
+    for ops in streams:
+        reads = writes = 0
+        barrier_seq = []
+        lock_depth = 0
+        max_depth = 0
+        for op in ops:
+            kind = op[0]
+            assert kind in VALID_OPS, op
+            if kind == "read":
+                reads += 1
+            elif kind == "write":
+                writes += 1
+            elif kind == "acquire":
+                lock_depth += 1
+                max_depth = max(max_depth, lock_depth)
+            elif kind == "release":
+                lock_depth -= 1
+                assert lock_depth >= 0, "release without acquire"
+            elif kind == "barrier":
+                barrier_seq.append(op[1])
+            elif kind == "think":
+                assert op[1] > 0
+        assert lock_depth == 0, "unbalanced critical sections"
+        facts.append(
+            {"reads": reads, "writes": writes, "barriers": barrier_seq,
+             "max_lock_depth": max_depth}
+        )
+    return facts
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+class TestStructure:
+    def test_one_stream_per_processor(self, app):
+        streams = build_workload(app, CFG, scale=0.3)
+        assert len(streams) == CFG.n_procs
+
+    def test_ops_well_formed(self, app):
+        facts = _scan(build_workload(app, CFG, scale=0.3))
+        for f in facts:
+            assert f["reads"] > 0
+            assert f["max_lock_depth"] <= 1
+
+    def test_barriers_match_across_processors(self, app):
+        facts = _scan(build_workload(app, CFG, scale=0.3))
+        seqs = {tuple(f["barriers"]) for f in facts}
+        assert len(seqs) == 1, "processors disagree on barrier sequence"
+
+    def test_addresses_word_aligned(self, app):
+        for ops in build_workload(app, CFG, scale=0.3):
+            for op in ops:
+                if op[0] in ("read", "write", "acquire", "release"):
+                    assert op[1] % 4 == 0
+
+    def test_deterministic_per_seed(self, app):
+        a = build_workload(app, CFG, scale=0.3, seed=7)
+        b = build_workload(app, CFG, scale=0.3, seed=7)
+        assert a == b
+
+    def test_seed_changes_streams(self, app):
+        a = build_workload(app, CFG, scale=0.3, seed=7)
+        b = build_workload(app, CFG, scale=0.3, seed=8)
+        # data-dependent apps vary with the seed; deterministic ones
+        # (LU's static schedule) may not -- but shapes must match
+        assert len(a) == len(b)
+
+    def test_scale_shrinks_work(self, app):
+        small = build_workload(app, CFG, scale=0.3)
+        large = build_workload(app, CFG, scale=1.0)
+        assert sum(map(len, small)) < sum(map(len, large))
+
+
+class TestRegistry:
+    def test_five_paper_applications_plus_extensions(self):
+        assert set(APP_NAMES) == {"mp3d", "cholesky", "water", "lu", "ocean"}
+        assert set(APP_NAMES) < set(WORKLOADS)
+        assert "pthor" in WORKLOADS
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("fft", CFG)
+
+    def test_case_insensitive(self):
+        assert build_workload("MP3D", CFG, scale=0.2)
+
+
+class TestSignatures:
+    """Each generator carries its application's sharing signature."""
+
+    def test_mp3d_has_migratory_cells_and_no_locks(self):
+        facts = _scan(build_workload("mp3d", CFG, scale=0.5))
+        assert all(f["max_lock_depth"] == 0 for f in facts)
+        assert all(len(f["barriers"]) > 1 for f in facts)
+
+    def test_cholesky_uses_locks(self):
+        facts = _scan(build_workload("cholesky", CFG, scale=0.5))
+        assert any(f["max_lock_depth"] == 1 for f in facts)
+
+    def test_water_uses_per_molecule_locks(self):
+        facts = _scan(build_workload("water", CFG, scale=0.5))
+        assert all(f["max_lock_depth"] == 1 for f in facts)
+
+    def test_lu_is_barrier_synchronized(self):
+        facts = _scan(build_workload("lu", CFG, scale=0.5))
+        assert all(f["max_lock_depth"] == 0 for f in facts)
+        assert all(len(f["barriers"]) >= 6 for f in facts)
+
+    def test_ocean_sweeps_are_barrier_separated(self):
+        facts = _scan(build_workload("ocean", CFG, scale=0.5))
+        assert all(len(f["barriers"]) >= 2 for f in facts)
+
+    def test_write_fraction_is_plausible(self):
+        for app in APP_NAMES:
+            facts = _scan(build_workload(app, CFG, scale=0.5))
+            reads = sum(f["reads"] for f in facts)
+            writes = sum(f["writes"] for f in facts)
+            # Water is read-dominated (force computation re-reads
+            # positions constantly); the others write 30-40 %
+            assert 0.03 < writes / (reads + writes) < 0.6, app
