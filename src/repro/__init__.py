@@ -34,6 +34,7 @@ from repro.config import (
     TimingConfig,
 )
 from repro.stats.counters import MachineStats
+from repro.sweep import ResultCache, RunResult, RunSpec, SweepEngine, sweep
 from repro.system import System, run_system
 
 __version__ = "1.0.0"
@@ -48,9 +49,14 @@ __all__ = [
     "NetworkKind",
     "PrefetchConfig",
     "ProtocolConfig",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
     "SC_PROTOCOLS",
+    "SweepEngine",
     "System",
     "SystemConfig",
     "TimingConfig",
     "run_system",
+    "sweep",
 ]

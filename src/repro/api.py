@@ -3,15 +3,21 @@
 One-call helpers for the common questions a user of the library asks:
 
 >>> from repro import api
->>> summary = api.run_app("mp3d", protocol="P+CW")
->>> summary.speedup_over("BASIC")   # needs a comparison; see below
 >>> ranking = api.compare_protocols("mp3d")
 >>> ranking.best().protocol
 'P+CW'
+>>> ranking.speedups()["P+CW"]          # execution time / baseline
+0.55
+>>> summary = api.run_app("mp3d", protocol="P+CW")
+>>> summary.speedup_over(ranking["BASIC"])
+1.8
 
-Everything here is a thin, typed wrapper over
+Everything here is a thin, typed wrapper over the sweep engine
+(:mod:`repro.sweep`), which in turn drives
 :class:`~repro.system.System` + :mod:`repro.workloads`; use those
-directly for anything the helpers do not expose.
+directly for anything the helpers do not expose.  Pass an explicit
+:class:`~repro.sweep.SweepEngine` to fan comparisons out across
+processes or to reuse cached results.
 """
 
 from __future__ import annotations
@@ -24,16 +30,16 @@ from repro.config import (
     CacheConfig,
     Consistency,
     NetworkConfig,
+    ProtocolConfig,
     SystemConfig,
 )
 from repro.stats.counters import MachineStats
-from repro.system import System
-from repro.workloads import build_workload
+from repro.sweep import DEFAULT_SEED, RunResult, RunSpec, SweepEngine
 
 
 @dataclass(frozen=True)
 class RunSummary:
-    """Digest of one simulation."""
+    """Digest of one simulation: a ratio-level view of a RunResult."""
 
     app: str
     protocol: str
@@ -47,6 +53,30 @@ class RunSummary:
     coherence_miss_rate: float
     network_bytes: int
     stats: MachineStats
+    #: the spec that produced this summary (None for summaries built
+    #: from raw stats without one).
+    spec: RunSpec | None = None
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        """The summary view of a sweep-engine result."""
+        stats = result.stats
+        et = stats.execution_time or 1
+        return cls(
+            app=result.app,
+            protocol=result.protocol,
+            consistency=result.consistency,
+            execution_time=stats.execution_time,
+            busy_fraction=stats.mean_busy / et,
+            read_stall_fraction=stats.mean_read_stall / et,
+            write_stall_fraction=stats.mean_write_stall / et,
+            acquire_stall_fraction=stats.mean_acquire_stall / et,
+            cold_miss_rate=stats.miss_rate("cold"),
+            coherence_miss_rate=stats.miss_rate("coherence"),
+            network_bytes=stats.network.bytes,
+            stats=stats,
+            spec=result.spec,
+        )
 
     @classmethod
     def from_stats(cls, app: str, cfg: SystemConfig,
@@ -68,6 +98,37 @@ class RunSummary:
             stats=stats,
         )
 
+    def speedup_over(self, baseline: "RunSummary") -> float:
+        """How many times faster this run is than ``baseline``.
+
+        > 1.0 means this configuration beats the baseline.
+        """
+        if not self.execution_time:
+            raise ValueError("summary has zero execution time")
+        return baseline.execution_time / self.execution_time
+
+
+def _spec(
+    app: str,
+    protocol: str,
+    consistency: Consistency,
+    scale: float,
+    n_procs: int,
+    network: NetworkConfig | None,
+    cache: CacheConfig | None,
+    seed: int,
+) -> RunSpec:
+    return RunSpec.for_run(
+        app,
+        protocol=protocol,
+        consistency=consistency,
+        network=network,
+        cache=cache,
+        n_procs=n_procs,
+        scale=scale,
+        seed=seed,
+    )
+
 
 def run_app(
     app: str,
@@ -77,18 +138,14 @@ def run_app(
     n_procs: int = 16,
     network: NetworkConfig | None = None,
     cache: CacheConfig | None = None,
-    seed: int = 1994,
+    seed: int = DEFAULT_SEED,
+    engine: SweepEngine | None = None,
 ) -> RunSummary:
     """Simulate one application on one machine; returns a digest."""
-    cfg = SystemConfig(
-        n_procs=n_procs,
-        consistency=consistency,
-        network=network or NetworkConfig(),
-        cache=cache or CacheConfig(),
-    ).with_protocol(protocol)
-    streams = build_workload(app, cfg, scale=scale, seed=seed)
-    stats = System(cfg).run(streams)
-    return RunSummary.from_stats(app, cfg, stats)
+    spec = _spec(app, protocol, consistency, scale, n_procs, network,
+                 cache, seed)
+    engine = engine or SweepEngine()
+    return RunSummary.from_result(engine.run_one(spec))
 
 
 @dataclass(frozen=True)
@@ -97,15 +154,26 @@ class Ranking:
 
     app: str
     summaries: tuple[RunSummary, ...]
+    #: protocol every relative number is normalized against.
+    baseline: str = "BASIC"
 
     def best(self) -> RunSummary:
-        """The fastest protocol's summary."""
+        """The fastest protocol's summary (first also wins ties)."""
         return self.summaries[0]
 
+    def baseline_summary(self) -> RunSummary:
+        """The baseline protocol's summary."""
+        return self[self.baseline]
+
     def relative_time(self, protocol: str) -> float:
-        """Execution time of ``protocol`` relative to BASIC."""
-        base = self["BASIC"].execution_time
+        """Execution time of ``protocol`` relative to the baseline."""
+        base = self.baseline_summary().execution_time
         return self[protocol].execution_time / base
+
+    def speedups(self) -> dict[str, float]:
+        """``{protocol: execution_time / baseline_time}`` for all rows."""
+        base = self.baseline_summary().execution_time
+        return {s.protocol: s.execution_time / base for s in self.summaries}
 
     def __getitem__(self, protocol: str) -> RunSummary:
         for summary in self.summaries:
@@ -122,14 +190,28 @@ def compare_protocols(
     protocols: Sequence[str] = ALL_PROTOCOLS,
     consistency: Consistency = Consistency.RC,
     scale: float = 1.0,
-    **kw,
+    n_procs: int = 16,
+    network: NetworkConfig | None = None,
+    cache: CacheConfig | None = None,
+    seed: int = DEFAULT_SEED,
+    baseline: str = "BASIC",
+    engine: SweepEngine | None = None,
 ) -> Ranking:
-    """Run several protocols on one application and rank them."""
-    if "BASIC" not in protocols:
-        protocols = ("BASIC", *protocols)
-    summaries = [
-        run_app(app, protocol=p, consistency=consistency, scale=scale, **kw)
+    """Run several protocols on one application and rank them.
+
+    The baseline protocol is always included in the comparison; all
+    cells go through the sweep engine in one batch, so an engine with a
+    process executor parallelizes the comparison and one with a cache
+    memoizes it.
+    """
+    baseline = ProtocolConfig.from_name(baseline).name
+    if baseline not in protocols:
+        protocols = (baseline, *protocols)
+    specs = [
+        _spec(app, p, consistency, scale, n_procs, network, cache, seed)
         for p in protocols
     ]
+    engine = engine or SweepEngine()
+    summaries = [RunSummary.from_result(r) for r in engine.run(specs)]
     summaries.sort(key=lambda s: s.execution_time)
-    return Ranking(app=app, summaries=tuple(summaries))
+    return Ranking(app=app, summaries=tuple(summaries), baseline=baseline)

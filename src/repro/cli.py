@@ -25,6 +25,7 @@ from repro.config import (
     SystemConfig,
 )
 from repro.experiments.formats import render_table
+from repro.experiments.runner import add_sweep_args
 from repro.system import System
 from repro.workloads import ALL_APP_NAMES, build_workload
 
@@ -74,31 +75,47 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    """Rank protocols on one application."""
-    rows = []
-    base = None
-    for proto in args.protocols:
-        ns = argparse.Namespace(**{**vars(args), "protocol": proto})
-        cfg = _make_config(ns)
-        streams = build_workload(args.app, cfg, scale=args.scale)
-        stats = System(cfg).run(streams)
-        if base is None:
-            base = stats.execution_time
-        rows.append(
-            (
-                proto,
-                stats.execution_time / base,
-                stats.miss_rate("cold"),
-                stats.miss_rate("coherence"),
-                stats.network.bytes,
-            )
+    """Rank protocols on one application (through the sweep engine)."""
+    from repro.experiments.runner import engine_from_args, print_sweep_summary
+    from repro.sweep import RunSpec
+
+    network = None
+    if getattr(args, "mesh", None):
+        network = NetworkConfig(
+            kind=NetworkKind.MESH, link_width_bits=args.mesh
         )
+    specs = [
+        RunSpec.for_run(
+            args.app,
+            protocol=proto,
+            consistency=Consistency(args.consistency),
+            network=network,
+            n_procs=args.procs,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        for proto in args.protocols
+    ]
+    engine = engine_from_args(args)
+    results = engine.run(specs)
+    base = results[0].execution_time
+    rows = [
+        (
+            res.protocol,
+            res.execution_time / base,
+            res.stats.miss_rate("cold"),
+            res.stats.miss_rate("coherence"),
+            res.stats.network.bytes,
+        )
+        for res in results
+    ]
     rows.sort(key=lambda r: r[1])
     print(render_table(
         ("protocol", "rel. time", "cold %", "coh %", "net bytes"),
         rows,
         title=f"{args.app} ({args.consistency}, scale {args.scale})",
     ))
+    print_sweep_summary(engine)
     return 0
 
 
@@ -159,7 +176,16 @@ def cmd_experiments(args) -> int:
         "report": report,
     }
     driver = drivers[args.name]
-    extra = ["--scale", str(args.scale)] if args.name != "table1" else []
+    extra = []
+    if args.name != "table1":
+        extra += ["--scale", str(args.scale)]
+        extra += ["--jobs", str(args.jobs), "--seed", str(args.seed)]
+        if args.cache_dir:
+            extra += ["--cache-dir", args.cache_dir]
+        if args.no_cache:
+            extra.append("--no-cache")
+        if args.progress:
+            extra.append("--progress")
     driver.main(extra)
     return 0
 
@@ -202,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocols", nargs="+", default=list(ALL_PROTOCOLS),
         choices=ALL_PROTOCOLS,
     )
+    add_sweep_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_an = sub.add_parser("analyze", help="sharing-pattern census")
@@ -222,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_ex.add_argument("--scale", type=float, default=1.0)
+    add_sweep_args(p_ex)
     p_ex.set_defaults(fn=cmd_experiments)
 
     return parser

@@ -18,6 +18,9 @@ Each module offers ``run(scale=...)`` returning structured data,
 
 from repro.experiments.runner import (
     RunResult,
+    RunSpec,
+    SweepEngine,
+    execute,
     limited_slc_cache,
     make_config,
     mesh_network,
@@ -27,6 +30,9 @@ from repro.experiments.runner import (
 
 __all__ = [
     "RunResult",
+    "RunSpec",
+    "SweepEngine",
+    "execute",
     "limited_slc_cache",
     "make_config",
     "mesh_network",

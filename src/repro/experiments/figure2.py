@@ -18,17 +18,30 @@ import argparse
 
 from repro.config import ALL_PROTOCOLS
 from repro.experiments.formats import decomposition, render_stacked_bars, render_table
-from repro.experiments.runner import run_once
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
 from repro.workloads import APP_NAMES
 
 
 def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
-        protocols: tuple[str, ...] = ALL_PROTOCOLS) -> dict:
+        protocols: tuple[str, ...] = ALL_PROTOCOLS,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """Simulate the full protocol matrix; returns {app: {proto: result}}."""
-    return {
-        app: {proto: run_once(app, protocol=proto, scale=scale) for proto in protocols}
+    specs = [
+        RunSpec.for_run(app, protocol=proto, scale=scale, seed=seed)
         for app in apps
-    }
+        for proto in protocols
+    ]
+    results = iter(execute(specs, engine))
+    return {app: {proto: next(results) for proto in protocols} for app in apps}
 
 
 def render(data: dict) -> str:
@@ -76,8 +89,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--apps", nargs="*", default=list(APP_NAMES))
     parser.add_argument("--csv", help="also write the series to this CSV file")
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    data = run(scale=args.scale, apps=tuple(args.apps))
+    engine = engine_from_args(args)
+    data = run(scale=args.scale, apps=tuple(args.apps), engine=engine,
+               seed=args.seed)
     print(render(data))
     if args.csv:
         from repro.experiments.formats import write_csv
@@ -85,6 +101,7 @@ def main(argv: list[str] | None = None) -> None:
         headers, rows = csv_rows(data)
         write_csv(args.csv, headers, rows)
         print(f"\nwrote {args.csv}")
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

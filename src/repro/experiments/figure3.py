@@ -18,21 +18,37 @@ import argparse
 
 from repro.config import SC_PROTOCOLS, Consistency
 from repro.experiments.formats import decomposition, render_stacked_bars, render_table
-from repro.experiments.runner import run_once
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
 from repro.workloads import APP_NAMES
 
 
-def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """{app: {"sc": {proto: result}, "basic_rc": exec_time}}."""
+    specs = []
+    for app in apps:
+        specs += [
+            RunSpec.for_run(app, protocol=proto, consistency=Consistency.SC,
+                            scale=scale, seed=seed)
+            for proto in SC_PROTOCOLS
+        ]
+        specs.append(RunSpec.for_run(app, protocol="BASIC",
+                                     consistency=Consistency.RC,
+                                     scale=scale, seed=seed))
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
-        sc = {
-            proto: run_once(app, protocol=proto, consistency=Consistency.SC,
-                            scale=scale)
-            for proto in SC_PROTOCOLS
-        }
-        rc = run_once(app, protocol="BASIC", consistency=Consistency.RC,
-                      scale=scale)
+        sc = {proto: next(results) for proto in SC_PROTOCOLS}
+        rc = next(results)
         out[app] = {"sc": sc, "basic_rc": rc.execution_time}
     return out
 
@@ -65,8 +81,11 @@ def main(argv: list[str] | None = None) -> None:
     """CLI entry: ``python -m repro.experiments.figure3 [--scale S]``."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    print(render(run(scale=args.scale)))
+    engine = engine_from_args(args)
+    print(render(run(scale=args.scale, engine=engine, seed=args.seed)))
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

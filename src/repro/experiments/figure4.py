@@ -13,20 +13,36 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments.formats import render_table
-from repro.experiments.runner import run_once
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
 from repro.workloads import APP_NAMES
 
 PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M")
 
 
-def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """{app: {proto: normalized traffic}} (BASIC == 100)."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, scale=scale, seed=seed)
+        for app in apps
+        for proto in PROTOCOLS
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
         out[app] = {}
         base_bytes = None
         for proto in PROTOCOLS:
-            res = run_once(app, protocol=proto, scale=scale)
+            res = next(results)
             if base_bytes is None:
                 base_bytes = res.stats.network.bytes or 1
             out[app][proto] = 100.0 * res.stats.network.bytes / base_bytes
@@ -64,14 +80,17 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--csv", help="also write the rows to this CSV file")
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    data = run(scale=args.scale)
+    engine = engine_from_args(args)
+    data = run(scale=args.scale, engine=engine, seed=args.seed)
     print(render(data))
     if args.csv:
         from repro.experiments.formats import write_csv
 
         headers, rows = csv_rows(data)
         write_csv(args.csv, headers, rows)
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

@@ -14,31 +14,41 @@ Run:  python -m repro.experiments.placement [--scale S]
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
 
-from repro.config import SystemConfig
 from repro.experiments.formats import render_table
-from repro.system import System
-from repro.workloads import APP_NAMES, build_workload
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
+from repro.workloads import APP_NAMES
 
 PROTOCOLS = ("BASIC", "P+CW")
 POLICIES = ("round_robin", "first_touch")
 
 
-def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """{app: {(protocol, policy): exec_time}}."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, page_placement=policy,
+                        scale=scale, seed=seed)
+        for app in apps
+        for proto in PROTOCOLS
+        for policy in POLICIES
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
         out[app] = {}
         for proto in PROTOCOLS:
             for policy in POLICIES:
-                cfg = replace(
-                    SystemConfig().with_protocol(proto),
-                    page_placement=policy,
-                )
-                streams = build_workload(app, cfg, scale=scale)
-                stats = System(cfg).run(streams)
-                out[app][(proto, policy)] = stats.execution_time
+                out[app][(proto, policy)] = next(results).execution_time
     return out
 
 
@@ -67,8 +77,11 @@ def main(argv: list[str] | None = None) -> None:
     """CLI entry: ``python -m repro.experiments.placement``."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    print(render(run(scale=args.scale)))
+    engine = engine_from_args(args)
+    print(render(run(scale=args.scale, engine=engine, seed=args.seed)))
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

@@ -1,16 +1,28 @@
-"""Shared experiment runner.
+"""Shared experiment plumbing on top of the sweep engine.
 
-Every table/figure driver goes through :func:`run_once`, which builds a
-machine for (application, protocol, consistency, network), runs the
-application's reference streams and returns the statistics.  ``scale``
-shrinks the workloads proportionally so the benchmark harness can run
-quickly while the full-scale experiments regenerate the paper's data.
+Historically every table/figure driver called :func:`run_once` in a
+hand-rolled nested loop.  The drivers now build
+:class:`~repro.sweep.RunSpec` batches and push them through one
+:class:`~repro.sweep.SweepEngine`, which parallelizes across worker
+processes (``--jobs``) and memoizes completed cells on disk
+(``--cache-dir`` / ``--no-cache``).  This module keeps:
+
+* :func:`run_once` -- **deprecated** single-cell shim over the engine,
+  kept so existing callers keep working,
+* the paper-default config helpers (:func:`make_config`,
+  :func:`mesh_network`, :func:`small_buffer_cache`,
+  :func:`limited_slc_cache`),
+* the argparse plumbing every driver CLI shares
+  (:func:`add_sweep_args`, :func:`engine_from_args`,
+  :func:`print_sweep_summary`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any
+import argparse
+import sys
+import warnings
+from typing import Any, Iterable
 
 from repro.config import (
     CacheConfig,
@@ -19,25 +31,30 @@ from repro.config import (
     NetworkKind,
     SystemConfig,
 )
-from repro.stats.counters import MachineStats
-from repro.system import System
-from repro.workloads import build_workload
+from repro.sweep import (
+    DEFAULT_SEED,
+    ProgressEvent,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SweepEngine,
+    default_cache_dir,
+)
 
-
-@dataclass
-class RunResult:
-    """Statistics of one simulation plus its configuration."""
-
-    app: str
-    protocol: str
-    consistency: str
-    stats: MachineStats
-    system: System
-
-    @property
-    def execution_time(self) -> int:
-        """Parallel-section execution time in pclocks."""
-        return self.stats.execution_time
+__all__ = [
+    "DEFAULT_SEED",
+    "RunResult",
+    "RunSpec",
+    "add_sweep_args",
+    "engine_from_args",
+    "execute",
+    "limited_slc_cache",
+    "make_config",
+    "mesh_network",
+    "print_sweep_summary",
+    "run_once",
+    "small_buffer_cache",
+]
 
 
 def make_config(
@@ -64,21 +81,41 @@ def run_once(
     network: NetworkConfig | None = None,
     cache: CacheConfig | None = None,
     scale: float = 1.0,
-    seed: int = 1994,
+    seed: int = DEFAULT_SEED,
     **workload_kw: Any,
 ) -> RunResult:
-    """Simulate one (application, machine) pair to completion."""
-    cfg = make_config(protocol, consistency, network, cache)
-    streams = build_workload(app, cfg, scale=scale, seed=seed, **workload_kw)
-    system = System(cfg)
-    stats = system.run(streams)
-    return RunResult(
-        app=app,
-        protocol=protocol,
-        consistency=consistency.value,
-        stats=stats,
-        system=system,
+    """Simulate one (application, machine) pair to completion.
+
+    .. deprecated::
+        Build a :class:`~repro.sweep.RunSpec` and run it through a
+        :class:`~repro.sweep.SweepEngine` (or
+        :func:`repro.sweep.run_spec`) instead; batched specs gain
+        parallel execution and result caching for free.
+    """
+    warnings.warn(
+        "run_once is deprecated; build a repro.sweep.RunSpec and use "
+        "repro.sweep.run_spec / SweepEngine.run instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    spec = RunSpec.for_run(
+        app,
+        protocol=protocol,
+        consistency=consistency,
+        network=network,
+        cache=cache,
+        scale=scale,
+        seed=seed,
+        **workload_kw,
+    )
+    return SweepEngine().run_one(spec)
+
+
+def execute(
+    specs: Iterable[RunSpec], engine: SweepEngine | None = None
+) -> list[RunResult]:
+    """Run a spec batch through ``engine`` (serial one-off if None)."""
+    return (engine or SweepEngine()).run(specs)
 
 
 def mesh_network(link_width_bits: int) -> NetworkConfig:
@@ -94,3 +131,60 @@ def small_buffer_cache() -> CacheConfig:
 def limited_slc_cache(size: int = 16 * 1024) -> CacheConfig:
     """§5.4: bounded direct-mapped SLC (16 KB by default)."""
     return CacheConfig(slc_size=size)
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing shared by every experiment driver
+# ----------------------------------------------------------------------
+
+def add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """Install the engine's ``--jobs/--cache-dir/--no-cache/--seed``."""
+    group = parser.add_argument_group("sweep engine")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (1 = serial, the default)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             f"{default_cache_dir()!s})",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; neither read nor write the result cache",
+    )
+    group.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="workload generation seed (default: %(default)s)",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="report per-cell completion on stderr",
+    )
+
+
+def _progress_printer(event: ProgressEvent) -> None:
+    print(
+        f"[sweep {event.index + 1}/{event.total}] {event.spec.label()} "
+        f"{event.wall_time:.2f}s ({event.source})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def engine_from_args(args: argparse.Namespace) -> SweepEngine:
+    """Build the engine described by :func:`add_sweep_args` flags."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepEngine(
+        executor="process" if args.jobs > 1 else "serial",
+        max_workers=args.jobs,
+        cache=cache,
+        on_result=_progress_printer if args.progress else None,
+    )
+
+
+def print_sweep_summary(engine: SweepEngine) -> None:
+    """Counter digest on stderr (stdout stays byte-identical)."""
+    print(engine.summary(), file=sys.stderr, flush=True)

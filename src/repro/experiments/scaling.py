@@ -18,26 +18,38 @@ from __future__ import annotations
 
 import argparse
 
-from repro.config import SystemConfig
 from repro.experiments.formats import render_table
-from repro.system import System
-from repro.workloads import build_workload
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
 
 MACHINE_SIZES = (4, 9, 16)
 PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M")
 
 
 def run(app: str = "mp3d", scale: float = 1.0,
-        sizes: tuple[int, ...] = MACHINE_SIZES) -> dict:
+        sizes: tuple[int, ...] = MACHINE_SIZES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """{n_procs: {proto: (exec_time, rel_to_basic, net_bytes)}}."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, n_procs=n, scale=scale, seed=seed)
+        for n in sizes
+        for proto in PROTOCOLS
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {}
     for n in sizes:
         out[n] = {}
         base = None
         for proto in PROTOCOLS:
-            cfg = SystemConfig(n_procs=n).with_protocol(proto)
-            streams = build_workload(app, cfg, scale=scale)
-            stats = System(cfg).run(streams)
+            stats = next(results).stats
             if base is None:
                 base = stats.execution_time
             out[n][proto] = (
@@ -69,8 +81,12 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--app", default="mp3d")
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    print(render(run(app=args.app, scale=args.scale), app=args.app))
+    engine = engine_from_args(args)
+    print(render(run(app=args.app, scale=args.scale, engine=engine,
+                     seed=args.seed), app=args.app))
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

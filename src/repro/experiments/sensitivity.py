@@ -17,22 +17,40 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments.formats import render_table
-from repro.experiments.runner import limited_slc_cache, run_once, small_buffer_cache
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    limited_slc_cache,
+    print_sweep_summary,
+    small_buffer_cache,
+)
 from repro.workloads import APP_NAMES
 
 PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M")
 
 
-def run_buffers(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run_buffers(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+                engine: SweepEngine | None = None,
+                seed: int = DEFAULT_SEED) -> dict:
     """{app: {proto: slowdown with 4-entry buffers}}."""
+    specs = []
+    for app in apps:
+        for proto in PROTOCOLS:
+            specs.append(RunSpec.for_run(app, protocol=proto, scale=scale,
+                                         seed=seed))
+            specs.append(RunSpec.for_run(app, protocol=proto, scale=scale,
+                                         seed=seed, cache=small_buffer_cache()))
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
         out[app] = {}
         for proto in PROTOCOLS:
-            full = run_once(app, protocol=proto, scale=scale)
-            small = run_once(
-                app, protocol=proto, cache=small_buffer_cache(), scale=scale
-            )
+            full = next(results)
+            small = next(results)
             out[app][proto] = small.execution_time / full.execution_time
     return out
 
@@ -41,16 +59,23 @@ def run_limited_slc(
     scale: float = 1.0,
     apps: tuple[str, ...] = APP_NAMES,
     slc_bytes: int = 16 * 1024,
+    engine: SweepEngine | None = None,
+    seed: int = DEFAULT_SEED,
 ) -> dict:
     """{app: {proto: (relative exec vs BASIC, replacement miss %)}}."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, scale=scale, seed=seed,
+                        cache=limited_slc_cache(slc_bytes))
+        for app in apps
+        for proto in PROTOCOLS
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
         out[app] = {}
         base = None
         for proto in PROTOCOLS:
-            res = run_once(
-                app, protocol=proto, cache=limited_slc_cache(slc_bytes), scale=scale
-            )
+            res = next(results)
             if base is None:
                 base = res.execution_time
             out[app][proto] = (
@@ -100,12 +125,18 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--study", choices=("buffers", "slc", "both"), default="both"
     )
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
+    engine = engine_from_args(args)
     if args.study in ("buffers", "both"):
-        print(render_buffers(run_buffers(scale=args.scale)))
+        print(render_buffers(run_buffers(scale=args.scale, engine=engine,
+                                         seed=args.seed)))
         print()
     if args.study in ("slc", "both"):
-        print(render_limited_slc(run_limited_slc(scale=args.scale)))
+        print(render_limited_slc(run_limited_slc(scale=args.scale,
+                                                 engine=engine,
+                                                 seed=args.seed)))
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

@@ -12,19 +12,35 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments.formats import render_table
-from repro.experiments.runner import run_once
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    print_sweep_summary,
+)
 from repro.workloads import APP_NAMES
 
 PROTOCOLS = ("BASIC", "P", "CW", "P+CW")
 
 
-def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """Measure miss-rate components; {app: {proto: (cold, coh)}}."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, scale=scale, seed=seed)
+        for app in apps
+        for proto in PROTOCOLS
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
         out[app] = {}
         for proto in PROTOCOLS:
-            res = run_once(app, protocol=proto, scale=scale)
+            res = next(results)
             out[app][proto] = (
                 res.stats.miss_rate("cold"),
                 res.stats.miss_rate("coherence"),
@@ -78,8 +94,10 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--csv", help="also write the rows to this CSV file")
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    data = run(scale=args.scale)
+    engine = engine_from_args(args)
+    data = run(scale=args.scale, engine=engine, seed=args.seed)
     print(render(data))
     if args.csv:
         from repro.experiments.formats import write_csv
@@ -91,6 +109,7 @@ def main(argv: list[str] | None = None) -> None:
     print("composition check (|P+CW - P| cold, |P+CW - CW| coherence):")
     for app, (dc, dh) in errs.items():
         print(f"  {app:10s} {dc:.2f}  {dh:.2f}")
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

@@ -13,26 +13,44 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments.formats import render_table
-from repro.experiments.runner import mesh_network, run_once
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    RunSpec,
+    SweepEngine,
+    add_sweep_args,
+    engine_from_args,
+    execute,
+    mesh_network,
+    print_sweep_summary,
+)
 from repro.workloads import APP_NAMES
 
 LINK_WIDTHS = (64, 32, 16)
 PROTOCOLS = ("P+CW", "P+M")
 
 
-def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES) -> dict:
+def run(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
+        engine: SweepEngine | None = None,
+        seed: int = DEFAULT_SEED) -> dict:
     """{proto: {app: {width: ETR}}} plus link utilization data."""
+    specs = [
+        RunSpec.for_run(app, protocol=proto, network=mesh_network(width),
+                        scale=scale, seed=seed)
+        for app in apps
+        for width in LINK_WIDTHS
+        for proto in ("BASIC", *PROTOCOLS)
+    ]
+    results = iter(execute(specs, engine))
     out: dict = {proto: {app: {} for app in apps} for proto in PROTOCOLS}
     out["utilization"] = {app: {} for app in apps}
     for app in apps:
         for width in LINK_WIDTHS:
-            net = mesh_network(width)
-            base = run_once(app, protocol="BASIC", network=net, scale=scale)
-            out["utilization"][app][width] = base.system.network.max_link_utilization(
-                base.execution_time
+            base = next(results)
+            out["utilization"][app][width] = (
+                base.stats.network.peak_link_utilization
             )
             for proto in PROTOCOLS:
-                res = run_once(app, protocol=proto, network=net, scale=scale)
+                res = next(results)
                 out[proto][app][width] = res.execution_time / base.execution_time
     return out
 
@@ -74,8 +92,11 @@ def main(argv: list[str] | None = None) -> None:
     """CLI entry: ``python -m repro.experiments.table3 [--scale S]``."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    print(render(run(scale=args.scale)))
+    engine = engine_from_args(args)
+    print(render(run(scale=args.scale, engine=engine, seed=args.seed)))
+    print_sweep_summary(engine)
 
 
 if __name__ == "__main__":

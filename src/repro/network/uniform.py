@@ -31,3 +31,7 @@ class UniformNetwork:
         """Account traffic (local messages never cross the network)."""
         if src != dst:
             self._stats.record(mtype_name, size, carries_data)
+
+    def max_link_utilization(self, elapsed: int) -> float:
+        """Always 0.0: the uniform network is contention-free."""
+        return 0.0

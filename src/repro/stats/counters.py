@@ -8,7 +8,12 @@ traffic in bytes normalized to BASIC (Figure 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+#: version of the ``MachineStats.to_dict`` payload.  Bump whenever a
+#: counter is added, removed or changes meaning: deserialization
+#: refuses older payloads, which invalidates stale cache entries.
+STATS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -83,6 +88,11 @@ class NetworkStats:
     bytes: int = 0
     data_messages: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
+    #: peak per-link utilization over the run (0.0 on contention-free
+    #: networks); recorded by ``System.run`` so results that have shed
+    #: their ``System`` (sweep cache, worker processes) still carry the
+    #: §5.3 saturation indicator.
+    peak_link_utilization: float = 0.0
 
     def record(self, mtype_name: str, size: int, carries_data: bool) -> None:
         """Account one message crossing the network."""
@@ -161,3 +171,42 @@ class MachineStats:
             "total": "demand_read_misses",
         }[component]
         return 100.0 * sum(getattr(c, key) for c in self.caches) / refs
+
+    # -- serialization (sweep cache, worker processes) -----------------
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-able payload; inverse of :meth:`from_dict`.
+
+        Every counter is a plain int/float/str, so the round trip is
+        lossless -- the durable artifact format of the sweep cache.
+        """
+        return {
+            "version": STATS_SCHEMA_VERSION,
+            "execution_time": self.execution_time,
+            "procs": [asdict(p) for p in self.procs],
+            "caches": [asdict(c) for c in self.caches],
+            "network": asdict(self.network),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineStats":
+        """Rebuild statistics from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` on a version mismatch or a payload
+        whose fields do not match the current counter schema.
+        """
+        version = d.get("version")
+        if version != STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"MachineStats payload version {version!r} != "
+                f"{STATS_SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                procs=[ProcessorStats(**p) for p in d["procs"]],
+                caches=[CacheStats(**c) for c in d["caches"]],
+                network=NetworkStats(**d["network"]),
+                execution_time=d["execution_time"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed MachineStats payload: {exc}") from exc

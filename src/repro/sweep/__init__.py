@@ -1,0 +1,58 @@
+"""Parallel sweep engine with result caching.
+
+The paper's evaluation is a cross-product of protocols × consistency
+models × applications × networks.  This package turns one cell of such
+a sweep into a value object (:class:`RunSpec`), executes batches of
+them serially or across worker processes (:class:`SweepEngine`), and
+memoizes completed cells on disk (:class:`ResultCache`) so an
+unchanged experiment re-renders without simulating anything.
+
+Typical use::
+
+    from repro.sweep import RunSpec, sweep
+
+    specs = [RunSpec.for_run("mp3d", protocol=p) for p in ("BASIC", "P+CW")]
+    results = sweep(specs, jobs=4, cache_dir=".repro-cache")
+    for r in results:
+        print(r.spec.label(), r.execution_time, r.from_cache)
+
+See ``docs/sweeps.md`` for the cache layout and invalidation rules.
+"""
+
+from repro.sweep.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.sweep.engine import (
+    EXECUTORS,
+    ProgressEvent,
+    SweepEngine,
+    execute_spec,
+    run_spec,
+    sweep,
+)
+from repro.sweep.spec import (
+    DEFAULT_SEED,
+    SPEC_SCHEMA_VERSION,
+    RunResult,
+    RunSpec,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_SEED",
+    "EXECUTORS",
+    "ProgressEvent",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "SPEC_SCHEMA_VERSION",
+    "SweepEngine",
+    "default_cache_dir",
+    "execute_spec",
+    "run_spec",
+    "sweep",
+]

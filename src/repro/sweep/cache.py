@@ -1,0 +1,148 @@
+"""On-disk result cache: one JSON file per completed simulation cell.
+
+Layout::
+
+    <root>/<key[:2]>/<key>.json
+
+where ``key`` is :meth:`RunSpec.key` -- a sha256 over the canonical
+spec JSON plus the spec schema version.  Each file holds::
+
+    {"schema": CACHE_SCHEMA_VERSION,
+     "spec_key": "<key>",          # self-check against renamed files
+     "spec": {...},                # RunSpec.to_dict(), for humans/tools
+     "stats": {...},               # MachineStats.to_dict() (versioned)
+     "wall_time": 1.234}           # simulation seconds when first run
+
+Invalidation rules (each counted in :attr:`ResultCache.invalidated`
+and then treated as a miss):
+
+* unreadable / non-JSON file,
+* ``schema`` != :data:`CACHE_SCHEMA_VERSION`,
+* ``spec_key`` mismatch (file renamed or copied between keys),
+* stats payload rejected by ``MachineStats.from_dict`` (its own
+  version stamp or counter schema changed).
+
+A spec-schema bump changes every key, so older entries are simply
+never looked up again; they can be garbage-collected with ``clear``.
+Writes are atomic (tempfile + rename), so a crashed run never leaves a
+half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.stats.counters import MachineStats
+from repro.sweep.spec import RunResult, RunSpec
+
+#: version of the cache-file envelope (the fields *around* the stats
+#: payload); the stats payload carries its own version.
+CACHE_SCHEMA_VERSION = 1
+
+#: default cache location; overridable with $REPRO_CACHE_DIR or the
+#: ``--cache-dir`` CLI flag.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root the CLI uses when none is given."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Spec-addressed store of completed :class:`RunResult` payloads."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise ValueError(
+                f"cache dir {self.root} exists and is not a directory"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """The file that does/would hold this spec's result."""
+        key = spec.key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """The cached result, or None (counting hit/miss/invalidation)."""
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._invalidate(path)
+            return None
+        try:
+            if payload["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache envelope version mismatch")
+            if payload["spec_key"] != spec.key():
+                raise ValueError("cache entry does not match its key")
+            stats = MachineStats.from_dict(payload["stats"])
+            wall_time = float(payload.get("wall_time", 0.0))
+        except (KeyError, TypeError, ValueError):
+            self._invalidate(path)
+            return None
+        self.hits += 1
+        return RunResult(
+            spec=spec, stats=stats, wall_time=wall_time, from_cache=True
+        )
+
+    def put(self, result: RunResult) -> None:
+        """Store a completed result (atomic write)."""
+        path = self.path_for(result.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec_key": result.spec.key(),
+            "spec": result.spec.to_dict(),
+            "stats": result.stats.to_dict(),
+            "wall_time": result.wall_time,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _invalidate(self, path: Path) -> None:
+        """Drop a stale/corrupt entry; counts as invalidated + miss."""
+        self.invalidated += 1
+        self.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns the count."""
+        n = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                os.unlink(path)
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

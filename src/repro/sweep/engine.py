@@ -1,0 +1,252 @@
+"""Batch execution of :class:`RunSpec` iterables.
+
+The engine takes any iterable of specs, serves what it can from the
+:class:`~repro.sweep.cache.ResultCache`, executes the rest through a
+pluggable executor and returns results **in spec order** regardless of
+completion order:
+
+* ``serial``  -- in-process loop (the default; zero overhead),
+* ``process`` -- a ``concurrent.futures.ProcessPoolExecutor`` with
+  chunked submission, for fanning a sweep matrix out across cores.
+
+Worker processes never see the cache: they receive spec dicts, return
+``MachineStats.to_dict()`` payloads, and the parent writes the cache
+and fires the progress hook.  Routing *both* the live and the cached
+path through the same versioned dict round-trip guarantees that a
+process-pool sweep, a serial sweep and a cache replay produce
+bitwise-identical statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.stats.counters import MachineStats
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import RunResult, RunSpec
+from repro.system import System
+from repro.workloads import build_workload
+
+#: executor names accepted by :class:`SweepEngine`.
+EXECUTORS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed cell, reported through the progress hook."""
+
+    index: int          #: position of the spec in the submitted batch
+    total: int          #: batch size
+    spec: RunSpec
+    wall_time: float    #: seconds spent simulating (0.0 for cache hits)
+    source: str         #: "sim" or "cache"
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+def execute_spec(spec: RunSpec) -> MachineStats:
+    """Simulate one cell in-process (no cache, no pooling)."""
+    cfg = spec.to_config()
+    streams = build_workload(
+        spec.app, cfg, scale=spec.scale, seed=spec.seed,
+        **dict(spec.workload_kw),
+    )
+    return System(cfg).run(streams)
+
+
+def _run_chunk(spec_dicts: list[dict]) -> list[dict]:
+    """Worker entry: simulate a chunk, return versioned stat payloads."""
+    out = []
+    for d in spec_dicts:
+        spec = RunSpec.from_dict(d)
+        t0 = time.perf_counter()
+        stats = execute_spec(spec)
+        out.append({
+            "stats": stats.to_dict(),
+            "wall_time": time.perf_counter() - t0,
+        })
+    return out
+
+
+def _ensure_importable_by_workers() -> None:
+    """Make sure spawned interpreters can ``import repro``.
+
+    Spawned workers inherit the environment, not ``sys.path``; if the
+    package was made importable by a path hack rather than an install,
+    prepend its root to ``PYTHONPATH`` before forking the pool.
+    """
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    if pkg_root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            pkg_root + (os.pathsep + existing if existing else "")
+        )
+
+
+class SweepEngine:
+    """Executes spec batches with memoization and progress reporting."""
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        on_result: ProgressHook | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        self.executor = executor
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.cache = cache
+        self.on_result = on_result
+        self.chunk_size = chunk_size
+        #: cells handed to run() over the engine's lifetime.
+        self.cells = 0
+        #: cells that had to be simulated (cache misses / cache off).
+        self.misses = 0
+        #: cells served from the cache without simulating.
+        self.hits = 0
+        #: wall-clock seconds spent inside run().
+        self.wall_time = 0.0
+
+    @property
+    def invalidated(self) -> int:
+        """Stale cache entries dropped on this engine's behalf."""
+        return self.cache.invalidated if self.cache else 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[RunSpec]) -> list[RunResult]:
+        """Execute every spec; results come back in submission order."""
+        batch = list(specs)
+        t0 = time.perf_counter()
+        self.cells += len(batch)
+        results: list[RunResult | None] = [None] * len(batch)
+        pending: list[int] = []
+        for i, spec in enumerate(batch):
+            cached = self.cache.get(spec) if self.cache else None
+            if cached is not None:
+                results[i] = cached
+                self.hits += 1
+                self._report(i, len(batch), spec, 0.0, "cache")
+            else:
+                pending.append(i)
+        self.misses += len(pending)
+        if pending:
+            if self.executor == "process" and len(pending) > 1:
+                self._run_pooled(batch, pending, results)
+            else:
+                self._run_serial(batch, pending, results)
+        self.wall_time += time.perf_counter() - t0
+        return results  # type: ignore[return-value]  # every slot filled
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Single-cell convenience wrapper over :meth:`run`."""
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, batch, pending, results) -> None:
+        for i in pending:
+            t0 = time.perf_counter()
+            stats = execute_spec(batch[i])
+            self._complete(
+                batch, i, len(batch), stats, time.perf_counter() - t0, results
+            )
+
+    def _run_pooled(self, batch, pending, results) -> None:
+        workers = min(self.max_workers, len(pending))
+        chunks = self._chunked(pending, workers)
+        _ensure_importable_by_workers()
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_chunk, [batch[i].to_dict() for i in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    chunk = futures[fut]
+                    for i, payload in zip(chunk, fut.result()):
+                        stats = MachineStats.from_dict(payload["stats"])
+                        self._complete(
+                            batch, i, len(batch), stats,
+                            payload["wall_time"], results,
+                        )
+
+    def _chunked(self, pending: Sequence[int], workers: int) -> list[list[int]]:
+        """Split the miss list into contiguous submission chunks."""
+        size = self.chunk_size or max(
+            1, math.ceil(len(pending) / (workers * 4))
+        )
+        return [
+            list(pending[i:i + size]) for i in range(0, len(pending), size)
+        ]
+
+    def _complete(self, batch, i, total, stats, wall_time, results) -> None:
+        result = RunResult(
+            spec=batch[i], stats=stats, wall_time=wall_time, from_cache=False
+        )
+        if self.cache is not None:
+            self.cache.put(result)
+        results[i] = result
+        self._report(i, total, batch[i], wall_time, "sim")
+
+    def _report(self, i, total, spec, wall_time, source) -> None:
+        if self.on_result is not None:
+            self.on_result(ProgressEvent(
+                index=i, total=total, spec=spec,
+                wall_time=wall_time, source=source,
+            ))
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line counter digest, e.g. for CLI stderr reporting."""
+        return (
+            f"[sweep] cells={self.cells} hits={self.hits} "
+            f"misses={self.misses} invalidated={self.invalidated} "
+            f"executor={self.executor} wall={self.wall_time:.2f}s"
+        )
+
+
+def run_spec(spec: RunSpec, engine: SweepEngine | None = None) -> RunResult:
+    """Execute one spec (through ``engine`` when given)."""
+    if engine is None:
+        engine = SweepEngine()
+    return engine.run_one(spec)
+
+
+def sweep(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    on_result: ProgressHook | None = None,
+    **engine_kw: Any,
+) -> list[RunResult]:
+    """One-call sweep: build an engine, run the batch, return results."""
+    engine = SweepEngine(
+        executor="process" if jobs > 1 else "serial",
+        max_workers=jobs,
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        on_result=on_result,
+        **engine_kw,
+    )
+    return engine.run(specs)

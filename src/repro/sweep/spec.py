@@ -1,0 +1,222 @@
+"""Canonical description of one simulation cell: :class:`RunSpec`.
+
+Every table/figure in the paper is a cross-product sweep over
+(application, protocol, consistency, network, cache, scale, seed).  A
+``RunSpec`` freezes one cell of such a sweep into a hashable value
+object that
+
+* builds its own :class:`~repro.config.SystemConfig` (``to_config``),
+* serializes to/from a plain JSON-able dict (``to_dict``/``from_dict``),
+* derives a *stable* content hash (``key``) that is identical across
+  processes and insensitive to keyword-argument order -- the result
+  cache and the process-pool executor both address cells by it.
+
+``RunResult`` is the matching value object on the way out: the spec
+that produced it, the collected :class:`~repro.stats.counters.MachineStats`
+and bookkeeping (wall time, cache provenance).  Unlike the historical
+``experiments.runner.RunResult`` it does **not** hold the simulated
+:class:`~repro.system.System`, so it pickles cheaply and fits in the
+on-disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.config import (
+    CacheConfig,
+    Consistency,
+    NetworkConfig,
+    NetworkKind,
+    ProtocolConfig,
+    SystemConfig,
+)
+from repro.stats.counters import MachineStats
+
+#: bump whenever the meaning of a spec field (or a simulator default it
+#: relies on) changes; every cached result keyed under an older version
+#: becomes unreachable, which is exactly the invalidation we want.
+SPEC_SCHEMA_VERSION = 1
+
+#: the paper's seed; kept in one place so the API, the deprecated
+#: ``run_once`` shim and every experiment driver agree.
+DEFAULT_SEED = 1994
+
+
+def _network_to_dict(net: NetworkConfig) -> dict:
+    d = asdict(net)
+    d["kind"] = net.kind.value
+    return d
+
+
+def _network_from_dict(d: Mapping[str, Any]) -> NetworkConfig:
+    d = dict(d)
+    d["kind"] = NetworkKind(d["kind"])
+    return NetworkConfig(**d)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Frozen, hashable description of one simulation."""
+
+    app: str
+    protocol: str = "BASIC"
+    consistency: str = "RC"
+    n_procs: int = 16
+    scale: float = 1.0
+    seed: int = DEFAULT_SEED
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    page_placement: str = "round_robin"
+    #: extra workload keyword arguments, stored as a sorted tuple of
+    #: (name, value) pairs so equal dicts hash equally.
+    workload_kw: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.consistency, Consistency):
+            object.__setattr__(self, "consistency", self.consistency.value)
+        Consistency(self.consistency)  # validate early
+        # canonicalize the protocol name ("CW+P" -> "P+CW")
+        object.__setattr__(
+            self, "protocol", ProtocolConfig.from_name(self.protocol).name
+        )
+        kw = self.workload_kw
+        if isinstance(kw, Mapping):
+            kw = kw.items()
+        object.__setattr__(
+            self, "workload_kw", tuple(sorted((str(k), v) for k, v in kw))
+        )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def for_run(
+        cls,
+        app: str,
+        protocol: str = "BASIC",
+        consistency: Consistency | str = Consistency.RC,
+        network: NetworkConfig | None = None,
+        cache: CacheConfig | None = None,
+        n_procs: int = 16,
+        scale: float = 1.0,
+        seed: int = DEFAULT_SEED,
+        page_placement: str = "round_robin",
+        **workload_kw: Any,
+    ) -> "RunSpec":
+        """Mirror of the historical ``run_once`` signature."""
+        return cls(
+            app=app,
+            protocol=protocol,
+            consistency=consistency,
+            n_procs=n_procs,
+            scale=scale,
+            seed=seed,
+            network=network or NetworkConfig(),
+            cache=cache or CacheConfig(),
+            page_placement=page_placement,
+            workload_kw=workload_kw,
+        )
+
+    # -- conversion -----------------------------------------------------
+
+    def to_config(self) -> SystemConfig:
+        """The machine configuration this spec describes."""
+        return SystemConfig(
+            n_procs=self.n_procs,
+            consistency=Consistency(self.consistency),
+            network=self.network,
+            cache=self.cache,
+            page_placement=self.page_placement,
+        ).with_protocol(self.protocol)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dict; inverse of :meth:`from_dict`."""
+        return {
+            "app": self.app,
+            "protocol": self.protocol,
+            "consistency": self.consistency,
+            "n_procs": self.n_procs,
+            "scale": self.scale,
+            "seed": self.seed,
+            "network": _network_to_dict(self.network),
+            "cache": asdict(self.cache),
+            "page_placement": self.page_placement,
+            "workload_kw": {k: v for k, v in self.workload_kw},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            app=d["app"],
+            protocol=d["protocol"],
+            consistency=d["consistency"],
+            n_procs=d["n_procs"],
+            scale=d["scale"],
+            seed=d["seed"],
+            network=_network_from_dict(d["network"]),
+            cache=CacheConfig(**d["cache"]),
+            page_placement=d["page_placement"],
+            workload_kw=d.get("workload_kw", {}),
+        )
+
+    def key(self) -> str:
+        """Stable content hash of this spec (cache address).
+
+        Computed over the canonical JSON of :meth:`to_dict` plus
+        :data:`SPEC_SCHEMA_VERSION`; unlike :func:`hash`, identical in
+        every process and for every dict key order.
+        """
+        payload = json.dumps(
+            {"schema": SPEC_SCHEMA_VERSION, "spec": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress reporting."""
+        extras = []
+        if self.network.kind is not NetworkKind.UNIFORM:
+            extras.append(f"mesh{self.network.link_width_bits}")
+        if self.n_procs != 16:
+            extras.append(f"{self.n_procs}p")
+        if self.page_placement != "round_robin":
+            extras.append(self.page_placement)
+        tail = f" [{','.join(extras)}]" if extras else ""
+        return f"{self.app}/{self.protocol}/{self.consistency}{tail}"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Statistics of one simulation plus the spec that produced them."""
+
+    spec: RunSpec
+    stats: MachineStats
+    #: seconds spent simulating this cell (0.0 when unknown).
+    wall_time: float = 0.0
+    #: True when served from the result cache instead of simulated.
+    from_cache: bool = False
+
+    @property
+    def app(self) -> str:
+        """Application name (from the spec)."""
+        return self.spec.app
+
+    @property
+    def protocol(self) -> str:
+        """Canonical protocol name (from the spec)."""
+        return self.spec.protocol
+
+    @property
+    def consistency(self) -> str:
+        """Consistency model value, 'RC' or 'SC' (from the spec)."""
+        return self.spec.consistency
+
+    @property
+    def execution_time(self) -> int:
+        """Parallel-section execution time in pclocks."""
+        return self.stats.execution_time

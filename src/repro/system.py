@@ -113,6 +113,9 @@ class System:
         self.stats.execution_time = max(
             p.finish_time for p in self.stats.procs
         )
+        self.stats.network.peak_link_utilization = (
+            self.network.max_link_utilization(self.stats.execution_time)
+        )
         return self.stats
 
 

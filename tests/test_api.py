@@ -76,3 +76,51 @@ class TestCompareProtocols:
             "lu", protocols=("BASIC", "P"), scale=0.3, n_procs=4
         )
         assert ranking.best().protocol == "P"
+
+    def test_speedups_normalized_to_baseline(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC", "P", "CW"), scale=0.2, n_procs=4
+        )
+        rel = ranking.speedups()
+        assert set(rel) == {"BASIC", "P", "CW"}
+        assert rel["BASIC"] == pytest.approx(1.0)
+        for proto, value in rel.items():
+            assert value == pytest.approx(ranking.relative_time(proto))
+
+    def test_custom_baseline(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC", "P"), baseline="P",
+            scale=0.2, n_procs=4,
+        )
+        assert ranking.baseline == "P"
+        assert ranking.relative_time("P") == pytest.approx(1.0)
+        assert ranking.baseline_summary().protocol == "P"
+
+    def test_speedup_over(self):
+        ranking = api.compare_protocols(
+            "lu", protocols=("BASIC", "P"), scale=0.3, n_procs=4
+        )
+        basic, p = ranking["BASIC"], ranking["P"]
+        assert p.speedup_over(basic) == pytest.approx(
+            basic.execution_time / p.execution_time
+        )
+        assert p.speedup_over(basic) > 1.0
+        assert basic.speedup_over(basic) == pytest.approx(1.0)
+
+
+class TestEngineIntegration:
+    def test_run_app_through_cached_engine(self, tmp_path):
+        from repro.sweep import ResultCache, SweepEngine
+
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        a = api.run_app("water", scale=0.2, n_procs=4, engine=engine)
+        b = api.run_app("water", scale=0.2, n_procs=4, engine=engine)
+        assert engine.hits == 1 and engine.misses == 1
+        assert a.execution_time == b.execution_time
+        assert a.spec == b.spec
+
+    def test_summary_carries_spec(self):
+        s = api.run_app("water", protocol="P", scale=0.2, n_procs=4, seed=3)
+        assert s.spec is not None
+        assert s.spec.seed == 3
+        assert s.spec.protocol == "P"

@@ -9,18 +9,19 @@ once.
 import pytest
 
 from repro.config import Consistency
-from repro.experiments.runner import run_once
+from repro.sweep import RunSpec, SweepEngine
 
 SCALE = 0.7
 _cache: dict = {}
+_engine = SweepEngine()
 
 
 def result(app, proto, consistency=Consistency.RC):
     key = (app, proto, consistency)
     if key not in _cache:
-        _cache[key] = run_once(
+        _cache[key] = _engine.run_one(RunSpec.for_run(
             app, protocol=proto, consistency=consistency, scale=SCALE
-        )
+        ))
     return _cache[key]
 
 

@@ -2,13 +2,21 @@
 
 from repro.config import SystemConfig
 from repro.core.invariants import check_all
-from repro.experiments.runner import run_once
 from repro.mem.addrmap import AddressMap
 from repro.stats.sharing import Pattern, analyze
 from repro.system import System
 from repro.workloads import ALL_APP_NAMES, APP_NAMES, build_workload
 
 CFG = SystemConfig()
+
+
+def run_pthor(protocol: str, scale: float = 0.5) -> System:
+    """Run pthor on a live System (tests inspect node internals)."""
+    cfg = SystemConfig().with_protocol(protocol)
+    streams = build_workload("pthor", cfg, scale=scale)
+    system = System(cfg)
+    system.run(streams)
+    return system
 
 
 class TestRegistry:
@@ -47,31 +55,31 @@ class TestProtocolBehaviour:
     def test_migratory_optimization_shines(self):
         # short runs (scale 0.5) only revisit each element a couple of
         # times; full-scale runs cut ownership requests by ~40 %
-        basic = run_once("pthor", protocol="BASIC", scale=0.5)
-        mig = run_once("pthor", protocol="M", scale=0.5)
+        basic = run_pthor("BASIC")
+        mig = run_pthor("M")
         basic_own = sum(c.ownership_requests for c in basic.stats.caches)
         mig_own = sum(c.ownership_requests for c in mig.stats.caches)
         assert mig_own < basic_own * 0.85
         assert mig.stats.network.bytes < basic.stats.network.bytes
         detections = sum(
-            n.home.migratory_detections for n in mig.system.nodes
+            n.home.migratory_detections for n in mig.nodes
         )
         assert detections >= 40  # the circuit elements migrate
 
     def test_prefetching_adapts_itself_off(self):
         # irregular fan-in reads: the adaptive scheme must not keep
         # spraying prefetches at them
-        res = run_once("pthor", protocol="P", scale=0.5)
+        res = run_pthor("P")
         degrees = [
             n.cache.prefetcher.degree
-            for n in res.system.nodes
+            for n in res.nodes
             if n.cache.prefetcher is not None
         ]
         assert sum(degrees) <= len(degrees)  # average degree <= 1
 
     def test_prefetching_gains_little(self):
-        basic = run_once("pthor", protocol="BASIC", scale=0.5)
-        p = run_once("pthor", protocol="P", scale=0.5)
+        basic = run_pthor("BASIC")
+        p = run_pthor("P")
         # within a few percent of BASIC either way: P is a no-op here
-        ratio = p.execution_time / basic.execution_time
+        ratio = p.stats.execution_time / basic.stats.execution_time
         assert 0.9 < ratio < 1.1

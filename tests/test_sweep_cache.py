@@ -1,0 +1,91 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+from repro.sweep import ResultCache, RunResult, RunSpec, execute_spec
+from repro.sweep.cache import CACHE_SCHEMA_VERSION
+
+SPEC = RunSpec.for_run("water", scale=0.2, n_procs=4)
+
+
+def fresh_result() -> RunResult:
+    return RunResult(spec=SPEC, stats=execute_spec(SPEC), wall_time=0.5)
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = fresh_result()
+        cache.put(result)
+        again = cache.get(SPEC)
+        assert again is not None
+        assert again.from_cache is True
+        assert again.stats == result.stats
+        assert again.wall_time == result.wall_time
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(SPEC) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        other = RunSpec.for_run("water", scale=0.2, n_procs=4, seed=7)
+        assert cache.get(other) is None
+        assert cache.misses == 1
+
+    def test_layout_is_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        path = cache.path_for(SPEC)
+        assert path.exists()
+        assert path.parent.name == SPEC.key()[:2]
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_corrupt_file_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        cache.path_for(SPEC).write_text("not json{")
+        assert cache.get(SPEC) is None
+        assert cache.invalidated == 1
+        assert not cache.path_for(SPEC).exists()
+
+    def test_envelope_version_mismatch_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        path = cache.path_for(SPEC)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(SPEC) is None
+        assert cache.invalidated == 1
+
+    def test_stats_version_mismatch_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        path = cache.path_for(SPEC)
+        payload = json.loads(path.read_text())
+        payload["stats"]["version"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(SPEC) is None
+        assert cache.invalidated == 1
+
+    def test_renamed_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        other = RunSpec.for_run("water", scale=0.2, n_procs=4, seed=7)
+        target = cache.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(SPEC).rename(target)
+        assert cache.get(other) is None
+        assert cache.invalidated == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(fresh_result())
+        assert cache.clear() == 1
+        assert len(cache) == 0

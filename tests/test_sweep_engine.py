@@ -1,0 +1,124 @@
+"""Tests for the sweep engine: executors, memoization, progress."""
+
+import pytest
+
+from repro.sweep import (
+    ProgressEvent,
+    ResultCache,
+    RunSpec,
+    SweepEngine,
+    run_spec,
+    sweep,
+)
+
+#: a small matrix that exercises two protocols and two seeds
+MATRIX = [
+    RunSpec.for_run("water", protocol=proto, scale=0.2, n_procs=4, seed=seed)
+    for proto in ("BASIC", "P+CW")
+    for seed in (1994, 7)
+]
+
+
+class TestSerialExecutor:
+    def test_results_in_spec_order(self):
+        engine = SweepEngine()
+        results = engine.run(MATRIX)
+        assert [r.spec for r in results] == MATRIX
+        assert all(r.execution_time > 0 for r in results)
+        assert engine.cells == len(MATRIX)
+        assert engine.misses == len(MATRIX) and engine.hits == 0
+
+    def test_run_one_and_run_spec(self):
+        a = run_spec(MATRIX[0])
+        b = SweepEngine().run_one(MATRIX[0])
+        assert a.stats == b.stats
+        assert not a.from_cache
+
+    def test_wall_time_recorded(self):
+        result = run_spec(MATRIX[0])
+        assert result.wall_time > 0
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(executor="threads")
+
+
+class TestProcessExecutor:
+    def test_bitwise_identical_to_serial(self):
+        serial = SweepEngine().run(MATRIX)
+        pooled = SweepEngine(executor="process", max_workers=2).run(MATRIX)
+        assert [r.spec for r in pooled] == MATRIX
+        for s, p in zip(serial, pooled):
+            assert s.stats == p.stats
+
+    def test_chunking_covers_every_spec(self):
+        engine = SweepEngine(executor="process", max_workers=2, chunk_size=3)
+        results = engine.run(MATRIX)
+        assert len(results) == len(MATRIX)
+        assert all(r is not None for r in results)
+
+
+class TestMemoization:
+    def test_second_run_served_from_cache(self, tmp_path):
+        first = SweepEngine(cache=ResultCache(tmp_path))
+        results1 = first.run(MATRIX)
+        assert first.misses == len(MATRIX)
+
+        second = SweepEngine(cache=ResultCache(tmp_path))
+        results2 = second.run(MATRIX)
+        assert second.misses == 0, "cache hit must not re-simulate"
+        assert second.hits == len(MATRIX)
+        assert all(r.from_cache for r in results2)
+        for a, b in zip(results1, results2):
+            assert a.stats == b.stats
+
+    def test_partial_hits_fill_only_the_gaps(self, tmp_path):
+        SweepEngine(cache=ResultCache(tmp_path)).run(MATRIX[:2])
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        results = engine.run(MATRIX)
+        assert engine.hits == 2 and engine.misses == len(MATRIX) - 2
+        assert [r.from_cache for r in results] == [True, True, False, False]
+
+    def test_pooled_replay_hits_cache(self, tmp_path):
+        sweep(MATRIX, jobs=2, cache_dir=tmp_path)
+        engine = SweepEngine(executor="process", max_workers=2,
+                             cache=ResultCache(tmp_path))
+        results = engine.run(MATRIX)
+        assert engine.misses == 0
+        assert all(r.from_cache for r in results)
+
+
+class TestProgress:
+    def test_hook_sees_every_cell_with_source(self, tmp_path):
+        events: list[ProgressEvent] = []
+        engine = SweepEngine(cache=ResultCache(tmp_path),
+                             on_result=events.append)
+        engine.run(MATRIX[:2])
+        assert sorted(e.index for e in events) == [0, 1]
+        assert {e.source for e in events} == {"sim"}
+        assert all(e.total == 2 for e in events)
+        assert all(e.wall_time > 0 for e in events)
+
+        replay_events: list[ProgressEvent] = []
+        replay = SweepEngine(cache=ResultCache(tmp_path),
+                             on_result=replay_events.append)
+        replay.run(MATRIX[:2])
+        assert {e.source for e in replay_events} == {"cache"}
+
+    def test_summary_line_mentions_counters(self):
+        engine = SweepEngine()
+        engine.run(MATRIX[:1])
+        line = engine.summary()
+        assert "cells=1" in line and "misses=1" in line and "hits=0" in line
+
+
+class TestDeprecatedShim:
+    def test_run_once_still_works_but_warns(self):
+        from repro.experiments.runner import run_once
+
+        with pytest.deprecated_call():
+            res = run_once("water", protocol="P", scale=0.2)
+        assert res.protocol == "P"
+        assert res.execution_time > 0
+        # the shim result is spec-addressed like any engine result
+        assert res.spec.app == "water"

@@ -1,0 +1,116 @@
+"""Tests for RunSpec: hashing stability, canonicalization, round trips."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import Consistency, NetworkConfig, NetworkKind
+from repro.experiments.runner import limited_slc_cache, mesh_network
+from repro.sweep import RunSpec
+
+
+class TestCanonicalization:
+    def test_protocol_name_is_canonicalized(self):
+        assert RunSpec.for_run("mp3d", protocol="CW+P").protocol == "P+CW"
+        assert RunSpec.for_run("mp3d", protocol="BASIC").protocol == "BASIC"
+
+    def test_consistency_enum_becomes_value(self):
+        spec = RunSpec.for_run("mp3d", consistency=Consistency.SC)
+        assert spec.consistency == "SC"
+        assert spec == RunSpec.for_run("mp3d", consistency="SC")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec.for_run("mp3d", protocol="XYZ")
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec.for_run("mp3d", consistency="weak")
+
+
+class TestHashing:
+    def test_equal_specs_equal_keys(self):
+        a = RunSpec.for_run("water", protocol="P+CW", scale=0.5, seed=7)
+        b = RunSpec.for_run("water", protocol="P+CW", scale=0.5, seed=7)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_every_field_perturbs_the_key(self):
+        base = RunSpec.for_run("water")
+        variants = [
+            RunSpec.for_run("mp3d"),
+            RunSpec.for_run("water", protocol="P"),
+            RunSpec.for_run("water", consistency="SC"),
+            RunSpec.for_run("water", n_procs=4),
+            RunSpec.for_run("water", scale=0.5),
+            RunSpec.for_run("water", seed=1),
+            RunSpec.for_run("water", network=mesh_network(16)),
+            RunSpec.for_run("water", cache=limited_slc_cache()),
+            RunSpec.for_run("water", page_placement="first_touch"),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_key_insensitive_to_workload_kw_order(self):
+        a = RunSpec("water", workload_kw={"alpha": 1, "beta": 2})
+        b = RunSpec("water", workload_kw={"beta": 2, "alpha": 1})
+        c = RunSpec("water", workload_kw=(("beta", 2), ("alpha", 1)))
+        assert a == b == c
+        assert a.key() == b.key() == c.key()
+
+    def test_key_stable_across_processes(self):
+        spec = RunSpec.for_run(
+            "mp3d", protocol="P+CW", scale=0.25, seed=42,
+            network=mesh_network(32),
+        )
+        code = (
+            "from repro.sweep import RunSpec\n"
+            "from repro.experiments.runner import mesh_network\n"
+            "spec = RunSpec.for_run('mp3d', protocol='P+CW', scale=0.25,"
+            " seed=42, network=mesh_network(32))\n"
+            "print(spec.key())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == spec.key()
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = RunSpec.for_run(
+            "cholesky", protocol="P+M", consistency=Consistency.SC,
+            n_procs=9, scale=0.3, seed=3,
+            network=NetworkConfig(kind=NetworkKind.MESH, link_width_bits=16),
+            cache=limited_slc_cache(32 * 1024),
+            page_placement="first_touch",
+            extra_knob=5,
+        )
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_to_config_carries_everything(self):
+        spec = RunSpec.for_run(
+            "water", protocol="P+CW", n_procs=4, page_placement="first_touch",
+            network=mesh_network(16),
+        )
+        cfg = spec.to_config()
+        assert cfg.protocol.name == "P+CW"
+        assert cfg.n_procs == 4
+        assert cfg.page_placement == "first_touch"
+        assert cfg.network.kind is NetworkKind.MESH
+        assert cfg.consistency is Consistency.RC
+
+    def test_label_mentions_cell_coordinates(self):
+        spec = RunSpec.for_run("water", protocol="P", n_procs=4,
+                               network=mesh_network(16))
+        label = spec.label()
+        assert "water" in label and "P" in label
+        assert "mesh16" in label and "4p" in label
