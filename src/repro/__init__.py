@@ -41,6 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_PROTOCOLS",
+    "api",
     "CacheConfig",
     "CompetitiveConfig",
     "Consistency",

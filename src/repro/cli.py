@@ -30,6 +30,16 @@ from repro.system import System
 from repro.workloads import ALL_APP_NAMES, build_workload
 
 
+def _protocol_arg(args) -> str:
+    """The requested protocol combination.
+
+    ``--extensions`` accepts any combination of registered extensions
+    ("p,m,cw", "PF+M", ...) and takes precedence over ``--protocol``,
+    whose choices are limited to the paper's eight combinations.
+    """
+    return getattr(args, "extensions", None) or args.protocol
+
+
 def _make_config(args) -> SystemConfig:
     network = NetworkConfig()
     if getattr(args, "mesh", None):
@@ -40,7 +50,7 @@ def _make_config(args) -> SystemConfig:
         n_procs=args.procs,
         consistency=Consistency(args.consistency),
         network=network,
-    ).with_protocol(args.protocol)
+    ).with_protocol(_protocol_arg(args))
 
 
 def _summary_rows(stats):
@@ -84,6 +94,7 @@ def cmd_compare(args) -> int:
         network = NetworkConfig(
             kind=NetworkKind.MESH, link_width_bits=args.mesh
         )
+    combos = args.extensions or args.protocols
     specs = [
         RunSpec.for_run(
             args.app,
@@ -94,7 +105,7 @@ def cmd_compare(args) -> int:
             scale=args.scale,
             seed=args.seed,
         )
-        for proto in args.protocols
+        for proto in combos
     ]
     engine = engine_from_args(args)
     results = engine.run(specs)
@@ -116,6 +127,28 @@ def cmd_compare(args) -> int:
         title=f"{args.app} ({args.consistency}, scale {args.scale})",
     ))
     print_sweep_summary(engine)
+    return 0
+
+
+def cmd_list_extensions(args) -> int:
+    """Print the protocol-extension registry."""
+    from repro.core.extensions import registered_extensions
+
+    rows = [
+        (
+            info.name,
+            info.order,
+            info.description,
+            info.config_cls.__name__ if info.config_cls else "-",
+            ",".join(sorted(info.conflicts)) or "-",
+        )
+        for info in registered_extensions()
+    ]
+    print(render_table(
+        ("name", "order", "description", "config", "conflicts"),
+        rows,
+        title="registered protocol extensions (pipeline order)",
+    ))
     return 0
 
 
@@ -201,12 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, protocol=True):
+    def common(p, protocol=True, multi=False):
         p.add_argument("--app", choices=ALL_APP_NAMES, default="mp3d")
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--procs", type=int, default=16)
         if protocol:
             p.add_argument("--protocol", choices=ALL_PROTOCOLS, default="BASIC")
+            p.add_argument(
+                "--extensions", metavar="COMBO", nargs="+" if multi else None,
+                help=(
+                    "extension combination(s), e.g. 'p,m,cw' or 'PF+M'; "
+                    "accepts any registered extension (see "
+                    "list-extensions) and overrides --protocol(s)"
+                ),
+            )
             p.add_argument(
                 "--consistency", choices=("RC", "SC"), default="RC"
             )
@@ -223,13 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="rank protocols on one app")
-    common(p_cmp)
+    common(p_cmp, multi=True)
     p_cmp.add_argument(
         "--protocols", nargs="+", default=list(ALL_PROTOCOLS),
         choices=ALL_PROTOCOLS,
     )
     add_sweep_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_ls = sub.add_parser(
+        "list-extensions", help="print the protocol-extension registry"
+    )
+    p_ls.set_defaults(fn=cmd_list_extensions)
 
     p_an = sub.add_parser("analyze", help="sharing-pattern census")
     common(p_an, protocol=False)

@@ -114,39 +114,82 @@ class CompetitiveConfig:
 
 @dataclass(frozen=True)
 class ProtocolConfig:
-    """Which extensions are stacked onto the BASIC protocol."""
+    """Which extensions are stacked onto the BASIC protocol.
+
+    The paper's three extensions keep their dedicated boolean flags;
+    any further registered extension (see
+    :mod:`repro.core.extensions.registry`) is named in ``extra``.  The
+    extension registry is the source of truth for name parsing,
+    canonical ordering and capability traits.
+    """
 
     prefetch: bool = False
     migratory: bool = False
     competitive_update: bool = False
     prefetch_params: PrefetchConfig = field(default_factory=PrefetchConfig)
     competitive_params: CompetitiveConfig = field(default_factory=CompetitiveConfig)
+    #: additional registered extensions by canonical name (e.g. "PF").
+    extra: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.extra:
+            # canonicalize and conflict-check against the registry
+            from repro.core.extensions import resolve_names
+
+            active = [
+                name
+                for name, on in (
+                    ("P", self.prefetch),
+                    ("CW", self.competitive_update),
+                    ("M", self.migratory),
+                )
+                if on
+            ]
+            names = resolve_names((*active, *self.extra))
+            object.__setattr__(
+                self,
+                "extra",
+                tuple(n for n in names if n not in {"P", "CW", "M"}),
+            )
 
     @property
     def name(self) -> str:
-        """Paper-style protocol name: BASIC, P, M, CW, P+CW, ..."""
-        parts = []
-        if self.prefetch:
-            parts.append("P")
-        if self.competitive_update:
-            parts.append("CW")
-        if self.migratory:
-            parts.append("M")
+        """Paper-style protocol name: BASIC, P, M, CW, P+CW, ...
+
+        Built from the extension registry, so drop-in extensions slot
+        into the canonical order automatically.
+        """
+        from repro.core.extensions import registered_extensions
+
+        parts = [
+            info.name for info in registered_extensions() if info.enabled(self)
+        ]
         return "+".join(parts) if parts else "BASIC"
 
     @staticmethod
     def from_name(name: str) -> "ProtocolConfig":
-        """Parse a paper-style name ('BASIC', 'P+CW', ...)."""
-        if name in {"BASIC", "B-SC", ""}:
+        """Parse a protocol-combination name ('BASIC', 'P+CW', 'p,cw')."""
+        from repro.core.extensions import resolve_names
+
+        if name.upper() in {"BASIC", "B-SC", ""}:
             return ProtocolConfig()
-        parts = set(name.replace("-SC", "").split("+"))
-        unknown = parts - {"P", "M", "CW"}
-        if unknown:
-            raise ValueError(f"unknown protocol extension(s): {sorted(unknown)}")
+        raw = name.replace("-SC", "").replace(",", "+").split("+")
+        names = resolve_names(part for part in raw if part)
         return ProtocolConfig(
-            prefetch="P" in parts,
-            migratory="M" in parts,
-            competitive_update="CW" in parts,
+            prefetch="P" in names,
+            migratory="M" in names,
+            competitive_update="CW" in names,
+            extra=tuple(n for n in names if n not in {"P", "M", "CW"}),
+        )
+
+    def has_trait(self, trait: str) -> bool:
+        """True when any enabled extension declares ``trait``."""
+        from repro.core.extensions import registered_extensions
+
+        return any(
+            trait in info.traits
+            for info in registered_extensions()
+            if info.enabled(self)
         )
 
 
@@ -192,7 +235,9 @@ class SystemConfig:
             raise ValueError(
                 f"unknown page placement {self.page_placement!r}"
             )
-        if self.consistency is Consistency.SC and self.protocol.competitive_update:
+        if self.consistency is Consistency.SC and self.protocol.has_trait(
+            "requires_rc"
+        ):
             raise ValueError(
                 "the competitive-update mechanism requires release consistency "
                 "(paper §5.2: 'We omit CW because it is not feasible under "
@@ -206,7 +251,9 @@ class SystemConfig:
     @property
     def effective_slwb_entries(self) -> int:
         """SLWB depth (paper §5.2: single entry under SC, except for P)."""
-        if self.consistency is Consistency.SC and not self.protocol.prefetch:
+        if self.consistency is Consistency.SC and not self.protocol.has_trait(
+            "prefetch"
+        ):
             return 1
         return self.cache.slwb_entries
 

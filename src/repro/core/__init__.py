@@ -1,11 +1,26 @@
-"""The paper's contribution: BASIC directory protocol + P / M / CW."""
+"""The paper's contribution: BASIC directory protocol + extensions.
+
+The base write-invalidate protocol lives in :mod:`~repro.core.cache_ctrl`
+(requester side) and :mod:`~repro.core.home` (directory side); the
+paper's P / CW / M extensions are composable
+:class:`~repro.core.extensions.ProtocolExtension` classes dispatched
+through an :class:`~repro.core.extensions.ExtensionPipeline`.
+"""
 
 from repro.core.cache_ctrl import CacheController
 from repro.core.directory import Directory, DirectoryEntry, directory_bits_per_block
+from repro.core.extensions import (
+    ExtensionPipeline,
+    ProtocolExtension,
+    build_pipeline,
+    register_extension,
+    registered_extensions,
+)
 from repro.core.home import HomeController
 from repro.core.messages import Message, MsgType
 from repro.core.prefetch import AdaptivePrefetcher
 from repro.core.states import CacheState, MemoryState
+from repro.core.transactions import Xact
 
 __all__ = [
     "AdaptivePrefetcher",
@@ -13,9 +28,15 @@ __all__ = [
     "CacheState",
     "Directory",
     "DirectoryEntry",
+    "ExtensionPipeline",
     "HomeController",
     "MemoryState",
     "Message",
     "MsgType",
+    "ProtocolExtension",
+    "Xact",
+    "build_pipeline",
     "directory_bits_per_block",
+    "register_extension",
+    "registered_extensions",
 ]

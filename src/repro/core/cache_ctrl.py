@@ -1,23 +1,25 @@
 """Lockup-free second-level cache controller.
 
-This is the requester side of the protocol: it owns the FLC, the FLWB,
-the SLC, the SLWB, and -- depending on the protocol configuration --
-the write cache (CW) and the adaptive prefetch engine (P).
-
-The controller implements the paper's node behaviour:
+This is the requester side of the **base write-invalidate protocol**:
+it owns the FLC, the FLWB, the SLC and the SLWB, and implements the
+paper's node behaviour:
 
 * demand reads block the processor (blocking loads, §2); misses
   allocate an SLWB entry and go to the home node,
 * writes drain from the FLWB into the SLC; writes to shared or invalid
-  blocks either send ownership requests (BASIC/M) or combine in the
-  write cache (CW),
-* prefetches (P) are issued for the K sequential successors of every
-  demand miss, pending in the SLWB,
+  blocks send ownership requests,
 * releases and barriers act as RCpc synchronization points: they wait
-  for every ownership request and write-cache flush issued before them,
-* incoming coherence traffic (invalidations, fetches, updates,
-  interrogations) is serviced immediately, so the home never blocks on
-  a cache.
+  for every write issued before them,
+* incoming coherence traffic (invalidations, fetches) is serviced
+  immediately, so the home never blocks on a cache.
+
+Everything protocol-extension-specific -- prefetch fan-out (P), the
+write cache and competitive updates (CW), migratory interrogations
+(CW+M) -- lives in :mod:`repro.core.extensions` and is dispatched
+through the node's :class:`~repro.core.extensions.ExtensionPipeline`
+at the hook call sites below.  Extensions drive the controller through
+its public surface (``send_home``, ``reply``, ``issue_prefetch``,
+``hold_marker``, ``retry_read``, ...), never the other way around.
 """
 
 from __future__ import annotations
@@ -27,15 +29,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.config import SystemConfig
-from repro.core.competitive import CompetitivePolicy
+from repro.core.extensions import ExtensionPipeline, build_pipeline
 from repro.core.messages import Message, MsgType
-from repro.core.prefetch import AdaptivePrefetcher
 from repro.core.states import CacheState
 from repro.mem.addrmap import AddressMap
 from repro.mem.flc import FirstLevelCache
 from repro.mem.slc import CacheLine, SecondLevelCache
 from repro.mem.write_buffers import Flwb, FlwbEntry, Slwb, SlwbKind
-from repro.mem.write_cache import WriteCache, WriteCacheEntry
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.resource import FcfsResource
 from repro.stats.classify import MissClassifier
@@ -72,7 +72,7 @@ class _PendingWrite:
 
 
 @dataclass
-class _SyncMarker:
+class SyncMarker:
     """A release or barrier waiting for prior writes to perform."""
 
     kind: str                      # 'release' | 'barrier'
@@ -80,6 +80,10 @@ class _SyncMarker:
     expected: int = 0              # barrier participant count
     outstanding: int = 0
     on_done: DoneFn | None = None  # barrier wake / SC release ack
+
+
+#: historical name, kept for importers.
+_SyncMarker = SyncMarker
 
 
 class CacheController:
@@ -95,10 +99,11 @@ class CacheController:
         send: SendFn,
         stats: CacheStats,
         placement=None,
+        pipeline: ExtensionPipeline | None = None,
     ) -> None:
         self.node_id = node_id
-        self._sim = sim
-        self._cfg = cfg
+        self.sim = sim
+        self.cfg = cfg
         self._timing = cfg.timing
         self._amap = amap
         self._slc_res = slc_res
@@ -114,40 +119,38 @@ class CacheController:
         self.slwb = Slwb(cfg.effective_slwb_entries)
         self.classifier = MissClassifier()
 
-        proto = cfg.protocol
-        self.wcache: WriteCache | None = (
-            WriteCache(cfg.cache.write_cache_blocks)
-            if proto.competitive_update and proto.competitive_params.use_write_cache
-            else None
+        #: the node's protocol-extension pipeline (shared with the home
+        #: controller when built by :class:`repro.node.node.Node`).
+        self.extensions = (
+            pipeline if pipeline is not None else build_pipeline(cfg.protocol)
         )
-        self._cw = proto.competitive_update
-        self._comp: CompetitivePolicy | None = (
-            CompetitivePolicy(proto.competitive_params)
-            if proto.competitive_update
-            else None
-        )
-        self.prefetcher: AdaptivePrefetcher | None = (
-            AdaptivePrefetcher(proto.prefetch_params) if proto.prefetch else None
-        )
+        self.extensions.attach_cache(self)
 
         self._pending_reads: dict[int, _PendingRead] = {}
         self._pending_writes: dict[int, _PendingWrite] = {}
-        #: write-cache flushes in flight: block -> FIFO of SLWB ids
-        self._pending_flushes: dict[int, deque[int]] = {}
-        #: flush entries waiting for a free SLWB slot
-        self._flush_queue: deque[tuple[WriteCacheEntry, list[_SyncMarker]]] = deque()
         #: dirty victims awaiting WB_ACK (still service fetches)
         self._victims: dict[int, bool] = {}
         #: SLWB entry -> sync markers it holds back
-        self._eid_markers: dict[int, list[_SyncMarker]] = {}
-        #: demand reads parked until a pending flush of the block acks
-        self._flush_read_waiters: dict[int, list[tuple[DoneFn, int]]] = {}
+        self._eid_markers: dict[int, list[SyncMarker]] = {}
         self._slwb_waiters: deque[Callable[[], None]] = deque()
         self._flwb_space_waiters: deque[Callable[[], None]] = deque()
         self._barrier_waiters: dict[int, DoneFn] = {}
         self._lock_waiters: dict[int, deque[DoneFn]] = {}
         self._release_acks: dict[int, deque[DoneFn]] = {}
         self._draining = False
+
+        self._handlers = {
+            MsgType.RD_RPL: self._on_rd_rpl,
+            MsgType.RDX_RPL: self._on_write_reply,
+            MsgType.OWN_ACK: self._on_write_reply,
+            MsgType.INV: self._on_inv,
+            MsgType.FETCH: self._on_fetch,
+            MsgType.FETCH_INV: self._on_fetch,
+            MsgType.WB_ACK: self._on_wb_ack,
+            MsgType.LOCK_GRANT: self._on_lock_grant,
+            MsgType.LOCK_REL_ACK: self._on_lock_rel_ack,
+            MsgType.BAR_WAKE: self._on_bar_wake,
+        }
 
     # ------------------------------------------------------------------
     # processor-facing API
@@ -157,17 +160,17 @@ class CacheController:
         """Demand read; ``on_done`` fires when the data is bound."""
         block = self._amap.block_of(addr)
         if self.flc.lookup(block):
-            self._sim.after(self._timing.flc_hit, on_done)
+            self.sim.after(self._timing.flc_hit, on_done)
             return
         if self._flwb_forwards(addr):
             # store-to-load forwarding: the word sits in the FLWB
             self.stats.flwb_forwards += 1
-            self._sim.after(self._timing.flc_hit, on_done)
+            self.sim.after(self._timing.flc_hit, on_done)
             return
         t1 = self._slc_res.finish_time(
-            self._sim.now + self._timing.flc_hit, self._timing.slc_access
+            self.sim.now + self._timing.flc_hit, self._timing.slc_access
         )
-        self._sim.at(t1, self._slc_read, block, on_done, self._sim.now)
+        self.sim.at(t1, self._slc_read, block, on_done, self.sim.now)
 
     def _flwb_forwards(self, addr: int) -> bool:
         """True if a buffered write to the same word can satisfy a read."""
@@ -179,7 +182,7 @@ class CacheController:
 
     def buffer_write(self, addr: int) -> None:
         """RC write path: enqueue in the FLWB and keep going."""
-        self.flwb.push(FlwbEntry(addr=addr, issue_time=self._sim.now))
+        self.flwb.push(FlwbEntry(addr=addr, issue_time=self.sim.now))
         self._pump_drain()
 
     def when_write_space(self, cb: Callable[[], None]) -> None:
@@ -188,14 +191,14 @@ class CacheController:
 
     def write_blocking(self, addr: int, on_done: DoneFn) -> None:
         """SC write path: ``on_done`` when globally performed."""
-        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
-        self._sim.at(t1, self._write_blocking_at_slc, addr, on_done)
+        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
+        self.sim.at(t1, self._write_blocking_at_slc, addr, on_done)
 
     def acquire(self, addr: int, on_done: DoneFn) -> None:
         """Acquire a lock; ``on_done`` on LOCK_GRANT."""
         block = self._amap.block_of(addr)
         self._lock_waiters.setdefault(block, deque()).append(on_done)
-        self._send_msg(MsgType.LOCK_REQ, block)
+        self.send_home(MsgType.LOCK_REQ, block)
 
     def release(self, addr: int, on_performed: DoneFn | None = None) -> None:
         """Release a lock after all earlier writes have performed.
@@ -204,17 +207,62 @@ class CacheController:
         ``on_performed`` (SC) to learn when the release completes.
         """
         block = self._amap.block_of(addr)
-        marker = _SyncMarker(kind="release", target=block, on_done=on_performed)
-        self.flwb.push(FlwbEntry(addr=-1, issue_time=self._sim.now, marker=marker))
+        marker = SyncMarker(kind="release", target=block, on_done=on_performed)
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=self.sim.now, marker=marker))
         self._pump_drain()
 
     def barrier(self, bar_id: int, expected: int, on_done: DoneFn) -> None:
         """Arrive at a barrier once earlier writes performed; wait wake."""
-        marker = _SyncMarker(
+        marker = SyncMarker(
             kind="barrier", target=bar_id, expected=expected, on_done=on_done
         )
-        self.flwb.push(FlwbEntry(addr=-1, issue_time=self._sim.now, marker=marker))
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=self.sim.now, marker=marker))
         self._pump_drain()
+
+    # ------------------------------------------------------------------
+    # extension-facing API
+    # ------------------------------------------------------------------
+
+    def slc_finish(self, t: int) -> int:
+        """Completion time of an SLC access starting at ``t``."""
+        return self._slc_res.finish_time(t, self._timing.slc_access)
+
+    def has_pending(self, block: int) -> bool:
+        """A read or ownership request for ``block`` is in flight."""
+        return block in self._pending_reads or block in self._pending_writes
+
+    def has_pending_read(self, block: int) -> bool:
+        """A read (demand or prefetch) for ``block`` is in flight."""
+        return block in self._pending_reads
+
+    def retry_read(self, block: int, on_done: DoneFn, t0: int) -> None:
+        """Re-enter a read an extension parked (e.g. behind a flush)."""
+        self._slc_read(block, on_done, t0)
+
+    def issue_prefetch(self, block: int) -> None:
+        """Allocate an SLWB entry and request ``block`` non-bindingly.
+
+        The caller must have checked :meth:`Slwb.has_room`.
+        """
+        eid = self.slwb.alloc(SlwbKind.PREFETCH)
+        self._pending_reads[block] = _PendingRead(
+            block=block, slwb_id=eid, is_prefetch=True, start=self.sim.now
+        )
+        self.send_home(MsgType.RD_REQ, block, prefetch=True)
+        self.stats.prefetches_issued += 1
+
+    def hold_marker(self, eid: int, marker: SyncMarker) -> None:
+        """Make SLWB entry ``eid`` hold back ``marker``.
+
+        Bookkeeping only: the caller increments ``marker.outstanding``
+        where it counts the entry (arm/queue time, never twice).
+        """
+        self._eid_markers.setdefault(eid, []).append(marker)
+
+    def relinquish_ownership(self, block: int) -> None:
+        """Give an (unwanted) exclusive grant straight back to the home."""
+        self._victims[block] = False
+        self.send_home(MsgType.WB, block)
 
     # ------------------------------------------------------------------
     # read path
@@ -223,48 +271,25 @@ class CacheController:
     def _slc_read(self, block: int, on_done: DoneFn, t0: int) -> None:
         line = self.slc.lookup(block)
         if line is not None:
-            self._on_local_read_hit(line)
+            self.extensions.on_read_hit(self, line)
             self.flc.fill(block)
-            self._sim.after(self._timing.flc_fill, on_done)
+            self.sim.after(self._timing.flc_fill, on_done)
             return
-        if self.wcache is not None and self.wcache.lookup(block) is not None:
-            # read hit in the write cache (§3.3)
-            self._sim.after(self._timing.flc_fill, on_done)
+        if self.extensions.absorbs_read(self, block):
+            self.sim.after(self._timing.flc_fill, on_done)
             return
         pr = self._pending_reads.get(block)
         if pr is not None:
-            if pr.is_prefetch and not pr.merged_prefetch:
-                pr.merged_prefetch = True
-                self.stats.late_prefetch_hits += 1
-                if self.prefetcher is not None:
-                    self.prefetcher.on_useful_prefetch()
+            self.extensions.on_read_merged(self, pr)
             pr.demand_waiters.append(on_done)
             return
         pw = self._pending_writes.get(block)
         if pw is not None:
             pw.read_waiters.append(on_done)
             return
-        if self._flush_in_flight(block):
-            # wait for the write-cache flush to settle: its WC_ACK may
-            # grant (or force relinquishing) exclusivity, which must be
-            # ordered before a new read request to the home.
-            self._flush_read_waiters.setdefault(block, []).append((on_done, t0))
+        if self.extensions.defers_read(self, block, on_done, t0):
             return
         self._demand_miss(block, on_done, t0)
-
-    def _flush_in_flight(self, block: int) -> bool:
-        if block in self._pending_flushes:
-            return True
-        return any(entry.block == block for entry, _m in self._flush_queue)
-
-    def _on_local_read_hit(self, line: CacheLine) -> None:
-        if line.prefetched:
-            line.prefetched = False
-            self.stats.useful_prefetches += 1
-            if self.prefetcher is not None:
-                self.prefetcher.on_useful_prefetch()
-        if self._comp is not None:
-            self._comp.on_local_access(line)
 
     def _demand_miss(self, block: int, on_done: DoneFn, t0: int) -> None:
         kind = self.classifier.classify(block)
@@ -275,15 +300,12 @@ class CacheController:
             self.stats.coherence_misses += 1
         else:
             self.stats.replacement_misses += 1
-        if self.prefetcher is not None:
-            self.prefetcher.on_demand_miss(
-                predecessor_cached=self.slc.lookup(block - 1) is not None
-            )
+        self.extensions.on_demand_miss(self, block)
 
         def issue() -> None:
             # the state may have moved while we waited for SLWB room
             if self.slc.lookup(block) is not None:
-                self._sim.after(0, on_done)
+                self.sim.after(0, on_done)
                 return
             pr = self._pending_reads.get(block)
             if pr is not None:
@@ -293,10 +315,7 @@ class CacheController:
             if pw is not None:
                 pw.read_waiters.append(on_done)
                 return
-            if self._flush_in_flight(block):
-                self._flush_read_waiters.setdefault(block, []).append(
-                    (on_done, t0)
-                )
+            if self.extensions.defers_read(self, block, on_done, t0):
                 return
             eid = self.slwb.alloc(SlwbKind.READ)
             entry = _PendingRead(
@@ -304,28 +323,10 @@ class CacheController:
                 start=t0, demand_waiters=[on_done],
             )
             self._pending_reads[block] = entry
-            self._send_msg(MsgType.RD_REQ, block)
-            self._maybe_prefetch(block)
+            self.send_home(MsgType.RD_REQ, block)
+            self.extensions.on_miss_issued(self, block)
 
-        self._when_slwb_room(issue)
-
-    def _maybe_prefetch(self, miss_block: int) -> None:
-        if self.prefetcher is None or not self.prefetcher.enabled:
-            return
-        for cand in self.prefetcher.candidates(miss_block):
-            if self.slc.lookup(cand) is not None:
-                continue
-            if cand in self._pending_reads or cand in self._pending_writes:
-                continue
-            if not self.slwb.has_room():
-                break  # prefetches are hints: drop under pressure
-            eid = self.slwb.alloc(SlwbKind.PREFETCH)
-            self._pending_reads[cand] = _PendingRead(
-                block=cand, slwb_id=eid, is_prefetch=True, start=self._sim.now
-            )
-            self._send_msg(MsgType.RD_REQ, cand, prefetch=True)
-            self.prefetcher.on_prefetch_issued()
-            self.stats.prefetches_issued += 1
+        self.when_slwb_room(issue)
 
     # ------------------------------------------------------------------
     # write path
@@ -335,8 +336,8 @@ class CacheController:
         if self._draining or self.flwb.empty:
             return
         self._draining = True
-        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
-        self._sim.at(t1, self._drain_head)
+        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
+        self.sim.at(t1, self._drain_head)
 
     def _drain_head(self) -> None:
         if self.flwb.empty:
@@ -354,14 +355,14 @@ class CacheController:
             self._continue_drain()
         else:
             # SLWB full: retry when an entry retires
-            self._when_slwb_room(self._drain_head)
+            self.when_slwb_room(self._drain_head)
 
     def _continue_drain(self) -> None:
         if self.flwb.empty:
             self._draining = False
             return
-        t1 = self._slc_res.finish_time(self._sim.now, self._timing.slc_access)
-        self._sim.at(t1, self._drain_head)
+        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
+        self.sim.at(t1, self._drain_head)
 
     def _notify_flwb_space(self) -> None:
         while self._flwb_space_waiters and not self.flwb.full:
@@ -379,24 +380,10 @@ class CacheController:
             line.state = CacheState.DIRTY
             line.modified_since_update = True
             return True
-        if self._cw:
-            if self.wcache is not None:
-                self._write_into_write_cache(block, word, line)
-                return True
-            # ref [10]'s protocol: no write cache, every write to a
-            # shared/invalid block propagates as a single-word update
-            if not self.slwb.has_room():
-                return False
-            self._touch_cw_line(line)
-            self._issue_flush(
-                WriteCacheEntry(
-                    block=block, dirty_words={word},
-                    had_copy=line is not None,
-                ),
-                markers=[],
-            )
-            return True
-        # BASIC / M: write-invalidate ownership path
+        handled = self.extensions.on_write(self, block, word, line)
+        if handled is not None:
+            return handled
+        # base write-invalidate ownership path
         if block in self._pending_writes:
             return True  # covered by the in-flight ownership request
         if not self.slwb.has_room():
@@ -410,25 +397,12 @@ class CacheController:
         eid = self.slwb.alloc(SlwbKind.OWNERSHIP)
         self.stats.ownership_requests += 1
         self._pending_writes[block] = _PendingWrite(
-            block=block, slwb_id=eid, start=self._sim.now, sc_waiter=sc_waiter
+            block=block, slwb_id=eid, start=self.sim.now, sc_waiter=sc_waiter
         )
         if line is not None or block in self._pending_reads:
-            self._send_msg(MsgType.OWN_REQ, block)
+            self.send_home(MsgType.OWN_REQ, block)
         else:
-            self._send_msg(MsgType.RDX_REQ, block)
-
-    def _touch_cw_line(self, line: CacheLine | None) -> None:
-        if line is not None and self._comp is not None:
-            self._comp.on_local_access(line, modifying=True)
-
-    def _write_into_write_cache(
-        self, block: int, word: int, line: CacheLine | None
-    ) -> None:
-        assert self.wcache is not None
-        self._touch_cw_line(line)
-        victim = self.wcache.write(block, word, had_copy=line is not None)
-        if victim is not None:
-            self._queue_flush(victim, markers=[])
+            self.send_home(MsgType.RDX_REQ, block)
 
     def _write_blocking_at_slc(self, addr: int, on_done: DoneFn) -> None:
         """SC write: stall until ownership is granted."""
@@ -454,12 +428,12 @@ class CacheController:
         def issue() -> None:
             ln = self.slc.lookup(block)
             if ln is not None and ln.state is CacheState.DIRTY:
-                self._sim.after(0, on_done)
+                self.sim.after(0, on_done)
                 return
             if ln is not None and ln.state is CacheState.MIG_CLEAN:
                 ln.state = CacheState.DIRTY
                 ln.modified_since_update = True
-                self._sim.after(0, on_done)
+                self.sim.after(0, on_done)
                 return
             merged = self._pending_writes.get(block)
             if merged is not None:
@@ -467,68 +441,28 @@ class CacheController:
                 return
             self._issue_ownership(block, ln, sc_waiter=on_done)
 
-        self._when_slwb_room(issue)
-
-    # ------------------------------------------------------------------
-    # write-cache flushes
-    # ------------------------------------------------------------------
-
-    def _queue_flush(
-        self, entry: WriteCacheEntry, markers: list[_SyncMarker]
-    ) -> None:
-        if self.slwb.has_room():
-            self._issue_flush(entry, markers)
-        else:
-            self._flush_queue.append((entry, markers))
-            self._when_slwb_room(self._drain_flush_queue)
-
-    def _drain_flush_queue(self) -> None:
-        while self._flush_queue and self.slwb.has_room():
-            entry, markers = self._flush_queue.popleft()
-            self._issue_flush(entry, markers)
-
-    def _issue_flush(
-        self, entry: WriteCacheEntry, markers: list[_SyncMarker]
-    ) -> None:
-        eid = self.slwb.alloc(SlwbKind.WC_FLUSH)
-        self.stats.write_cache_flushes += 1
-        self._pending_flushes.setdefault(entry.block, deque()).append(eid)
-        if markers:
-            self._eid_markers.setdefault(eid, []).extend(markers)
-        self._send_msg(MsgType.WC_FLUSH, entry.block, words=len(entry.dirty_words))
+        self.when_slwb_room(issue)
 
     # ------------------------------------------------------------------
     # synchronization markers
     # ------------------------------------------------------------------
 
-    def _arm_marker(self, marker: _SyncMarker) -> None:
+    def _arm_marker(self, marker: SyncMarker) -> None:
         """Register everything the sync point must wait for."""
-        waiting_eids: list[int] = []
         for pw in self._pending_writes.values():
-            waiting_eids.append(pw.slwb_id)
-        for fifo in self._pending_flushes.values():
-            waiting_eids.extend(fifo)
-        if self.wcache is not None:
-            for entry in self.wcache.drain():
-                self._queue_flush(entry, markers=[marker])
-                marker.outstanding += 1
-        for _entry, markers in self._flush_queue:
-            if marker not in markers:
-                markers.append(marker)
-                marker.outstanding += 1
-        for eid in waiting_eids:
-            self._eid_markers.setdefault(eid, []).append(marker)
+            self.hold_marker(pw.slwb_id, marker)
             marker.outstanding += 1
+        self.extensions.on_release(self, marker)
         if marker.outstanding == 0:
             self._fire_marker(marker)
 
-    def _fire_marker(self, marker: _SyncMarker) -> None:
+    def _fire_marker(self, marker: SyncMarker) -> None:
         if marker.kind == "release":
             if marker.on_done is not None:
                 self._release_acks.setdefault(marker.target, deque()).append(
                     marker.on_done
                 )
-            self._send_msg(MsgType.LOCK_REL, marker.target)
+            self.send_home(MsgType.LOCK_REL, marker.target)
         else:
             self._barrier_waiters[marker.target] = marker.on_done or (lambda: None)
             self._send_barrier_arrive(marker.target, marker.expected)
@@ -549,21 +483,28 @@ class CacheController:
         page = self._amap.page_of(self._amap.block_base(block))
         return self._placement.home_of_page(page, toucher=self.node_id)
 
-    def _send_msg(self, mtype: MsgType, block: int, **kw) -> None:
+    def send_home(self, mtype: MsgType, block: int, **kw) -> None:
+        """Send a request for ``block`` to its home node, now."""
         dst = self._home_of(block)
         self._send(
             Message(mtype, src=self.node_id, dst=dst, block=block, **kw),
-            self._sim.now,
+            self.sim.now,
+        )
+
+    def reply(self, mtype: MsgType, dst: int, block: int, t: int, **kw) -> None:
+        """Send a reply/ack message to ``dst`` at time ``t``."""
+        self._send(
+            Message(mtype, src=self.node_id, dst=dst, block=block, **kw), t
         )
 
     def _send_barrier_arrive(self, bar_id: int, expected: int) -> None:
-        dst = bar_id % self._cfg.n_procs
+        dst = bar_id % self.cfg.n_procs
         self._send(
             Message(
                 MsgType.BAR_ARRIVE, src=self.node_id, dst=dst,
                 block=bar_id, tag=expected,
             ),
-            self._sim.now,
+            self.sim.now,
         )
 
     # ------------------------------------------------------------------
@@ -573,8 +514,7 @@ class CacheController:
     def _fill(self, block: int, state: CacheState) -> CacheLine:
         line, victim = self.slc.insert(block, state)
         self.classifier.on_fill(block)
-        if self._comp is not None:
-            self._comp.on_fill(line)
+        self.extensions.on_fill(self, line)
         if victim is not None:
             self._evict(victim)
         return line
@@ -582,12 +522,13 @@ class CacheController:
     def _evict(self, victim: CacheLine) -> None:
         self.classifier.on_eviction(victim.block)
         self.flc.invalidate(victim.block)  # inclusion
+        self.extensions.on_evict(self, victim)
         if victim.state in (CacheState.DIRTY, CacheState.MIG_CLEAN):
             self.stats.writebacks += 1
             self._victims[victim.block] = victim.state is CacheState.DIRTY
-            self._send_msg(MsgType.WB, victim.block)
+            self.send_home(MsgType.WB, victim.block)
         else:
-            self._send_msg(MsgType.REPL, victim.block)
+            self.send_home(MsgType.REPL, victim.block)
 
     # ------------------------------------------------------------------
     # network delivery
@@ -595,33 +536,22 @@ class CacheController:
 
     def deliver(self, msg: Message, t: int) -> None:
         """Handle a cache-bound message arriving at time ``t``."""
-        handler = {
-            MsgType.RD_RPL: self._on_rd_rpl,
-            MsgType.RDX_RPL: self._on_write_reply,
-            MsgType.OWN_ACK: self._on_write_reply,
-            MsgType.INV: self._on_inv,
-            MsgType.FETCH: self._on_fetch,
-            MsgType.FETCH_INV: self._on_fetch,
-            MsgType.UPD_PROP: self._on_update,
-            MsgType.MIG_QUERY: self._on_mig_query,
-            MsgType.WC_ACK: self._on_wc_ack,
-            MsgType.WB_ACK: self._on_wb_ack,
-            MsgType.LOCK_GRANT: self._on_lock_grant,
-            MsgType.LOCK_REL_ACK: self._on_lock_rel_ack,
-            MsgType.BAR_WAKE: self._on_bar_wake,
-        }.get(msg.mtype)
-        if handler is None:
-            raise SimulationError(
-                f"cache {self.node_id}: unexpected {msg.mtype}"
-            )
-        handler(msg, t)
+        handler = self._handlers.get(msg.mtype)
+        if handler is not None:
+            handler(msg, t)
+            return
+        if self.extensions.on_home_reply(self, msg, t):
+            return
+        raise SimulationError(
+            f"cache {self.node_id}: unexpected {msg.mtype}"
+        )
 
     def _on_rd_rpl(self, msg: Message, t: int) -> None:
         block = msg.block
         pr = self._pending_reads.pop(block, None)
         if pr is None:
             raise SimulationError(f"stray RD_RPL for block {block}")
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        t1 = self.slc_finish(t)
         state = CacheState.MIG_CLEAN if msg.grant == "MC" else CacheState.SHARED
         demand = bool(pr.demand_waiters) or pr.merged_prefetch
         if pr.invalidated and state is not CacheState.MIG_CLEAN:
@@ -645,17 +575,17 @@ class CacheController:
             self.stats.read_miss_latency_total += done - pr.start
             self.stats.read_miss_latency_count += 1
             for cb in pr.demand_waiters:
-                self._sim.at(done, cb)
-        self._release_slwb(pr.slwb_id)
+                self.sim.at(done, cb)
+        self.release_slwb(pr.slwb_id)
         for deferred in pr.deferred:
-            self._sim.at(t1, self.deliver, deferred, t1)
+            self.sim.at(t1, self.deliver, deferred, t1)
 
     def _on_write_reply(self, msg: Message, t: int) -> None:
         block = msg.block
         pw = self._pending_writes.pop(block, None)
         if pw is None:
             raise SimulationError(f"stray {msg.mtype} for block {block}")
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        t1 = self.slc_finish(t)
         line = self.slc.lookup(block)
         if line is None:
             line = self._fill(block, CacheState.DIRTY)
@@ -666,21 +596,17 @@ class CacheController:
         if pw.read_waiters:
             self.flc.fill(block)
             for cb in pw.read_waiters:
-                self._sim.at(t1 + self._timing.flc_fill, cb)
+                self.sim.at(t1 + self._timing.flc_fill, cb)
         if pw.sc_waiter is not None:
-            self._sim.at(t1, pw.sc_waiter)
-        self._release_slwb(pw.slwb_id)
+            self.sim.at(t1, pw.sc_waiter)
+        self.release_slwb(pw.slwb_id)
         for deferred in pw.deferred:
-            self._sim.at(t1, self.deliver, deferred, t1)
+            self.sim.at(t1, self.deliver, deferred, t1)
 
     def _on_inv(self, msg: Message, t: int) -> None:
         block = msg.block
         self.stats.invalidations_received += 1
-        words = 0
-        if self.wcache is not None:
-            entry = self.wcache.remove(block)
-            if entry is not None:
-                words = len(entry.dirty_words)
+        words = self.extensions.on_invalidate(self, block)
         line = self.slc.invalidate(block)
         if line is not None:
             self.classifier.on_coherence_loss(block)
@@ -688,14 +614,8 @@ class CacheController:
         pr = self._pending_reads.get(block)
         if pr is not None:
             pr.invalidated = True
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
-        self._send(
-            Message(
-                MsgType.INV_ACK, src=self.node_id, dst=msg.src,
-                block=block, words=words,
-            ),
-            t1,
-        )
+        t1 = self.slc_finish(t)
+        self.reply(MsgType.INV_ACK, msg.src, block, t1, words=words)
 
     def _on_fetch(self, msg: Message, t: int) -> None:
         block = msg.block
@@ -717,7 +637,7 @@ class CacheController:
             if pw is not None:
                 pw.deferred.append(msg)
                 return
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
+        t1 = self.slc_finish(t)
         if line is not None and block not in self._victims:
             was_modified = line.state is CacheState.DIRTY
             dropped = False
@@ -740,101 +660,13 @@ class CacheController:
             reply = (
                 MsgType.RDX_RPL if msg.grant == "X" else MsgType.RD_RPL
             )
-            self._send(
-                Message(
-                    reply, src=self.node_id, dst=msg.requester,
-                    block=block, grant=msg.grant,
-                ),
-                t1,
+            self.reply(
+                reply, msg.requester, block, t1, grant=msg.grant
             )
-        self._send(
-            Message(
-                MsgType.XFER_ACK, src=self.node_id, dst=msg.src, block=block,
-                was_modified=was_modified, drop=dropped,
-            ),
-            t1,
+        self.reply(
+            MsgType.XFER_ACK, msg.src, block, t1,
+            was_modified=was_modified, drop=dropped,
         )
-
-    def _on_update(self, msg: Message, t: int) -> None:
-        block = msg.block
-        self.stats.updates_received += 1
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
-        line = self.slc.lookup(block)
-        if line is None:
-            drop = block not in self._pending_reads
-        else:
-            assert self._comp is not None
-            drop = self._comp.on_update(line)
-            # force the next local read through to the SLC so local
-            # activity remains visible to the competitive counter
-            self.flc.invalidate(block)
-            if drop:
-                self.slc.invalidate(block)
-                self.classifier.on_coherence_loss(block)
-                self.stats.updates_dropped += 1
-        self._send(
-            Message(
-                MsgType.UPD_ACK, src=self.node_id, dst=msg.src,
-                block=block, drop=drop,
-            ),
-            t1,
-        )
-
-    def _on_mig_query(self, msg: Message, t: int) -> None:
-        block = msg.block
-        t1 = self._slc_res.finish_time(t, self._timing.slc_access)
-        line = self.slc.lookup(block)
-        words = 0
-        if line is None and block in self._pending_reads:
-            # a fresh copy is already on its way to us: we are a
-            # reader, not a modifier -- keep the (incoming) copy
-            give_up = False
-        elif line is None:
-            give_up = True
-        elif line.modified_since_update or (
-            self.wcache is not None and self.wcache.lookup(block) is not None
-        ):
-            # modified since the last update from home: give up (§3.4)
-            give_up = True
-            if self.wcache is not None:
-                entry = self.wcache.remove(block)
-                if entry is not None:
-                    words = len(entry.dirty_words)
-            self.slc.invalidate(block)
-            self.flc.invalidate(block)
-            self.classifier.on_coherence_loss(block)
-        else:
-            give_up = False
-        self._send(
-            Message(
-                MsgType.MIG_RPL, src=self.node_id, dst=msg.src,
-                block=block, give_up=give_up, words=words,
-            ),
-            t1,
-        )
-
-    def _on_wc_ack(self, msg: Message, t: int) -> None:
-        block = msg.block
-        fifo = self._pending_flushes.get(block)
-        if not fifo:
-            raise SimulationError(f"stray WC_ACK for block {block}")
-        eid = fifo.popleft()
-        if not fifo:
-            del self._pending_flushes[block]
-        if msg.exclusive:
-            line = self.slc.lookup(block)
-            if line is not None:
-                line.state = CacheState.DIRTY
-                line.modified_since_update = True
-            else:
-                # the SLC copy was victimized while the flush was in
-                # flight: relinquish the surprise ownership right away
-                self._victims[block] = False
-                self._send_msg(MsgType.WB, block)
-        self._release_slwb(eid)
-        if not self._flush_in_flight(block):
-            for cb, t0 in self._flush_read_waiters.pop(block, []):
-                self._slc_read(block, cb, t0)
 
     def _on_wb_ack(self, msg: Message, t: int) -> None:
         self._victims.pop(msg.block, None)
@@ -864,13 +696,15 @@ class CacheController:
     # SLWB bookkeeping
     # ------------------------------------------------------------------
 
-    def _when_slwb_room(self, cb: Callable[[], None]) -> None:
+    def when_slwb_room(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` now if the SLWB has room, else when it does."""
         if self.slwb.has_room():
             cb()
         else:
             self._slwb_waiters.append(cb)
 
-    def _release_slwb(self, eid: int) -> None:
+    def release_slwb(self, eid: int) -> None:
+        """Retire SLWB entry ``eid``: markers progress, waiters run."""
         self.slwb.release(eid)
         self._marker_progress(eid)
         while self._slwb_waiters and self.slwb.has_room():
@@ -882,10 +716,24 @@ class CacheController:
 
     @property
     def outstanding_requests(self) -> int:
-        """Pending reads + writes + flushes (for quiescence checks)."""
+        """Pending reads + writes + extension requests (quiescence)."""
         return (
             len(self._pending_reads)
             + len(self._pending_writes)
-            + sum(len(f) for f in self._pending_flushes.values())
-            + len(self._flush_queue)
+            + self.extensions.cache_outstanding(self)
         )
+
+    @property
+    def prefetcher(self):
+        """The prefetch engine, when a prefetching extension is active."""
+        for name in ("P", "PF"):
+            ext = self.extensions.get(name)
+            if ext is not None:
+                return ext.engine
+        return None
+
+    @property
+    def wcache(self):
+        """The CW extension's write cache (None without CW)."""
+        ext = self.extensions.get("CW")
+        return ext.wcache if ext is not None else None

@@ -1,0 +1,50 @@
+"""Composable protocol extensions (the paper's P, CW and M).
+
+Importing this package registers the built-in extensions; everything
+user-facing re-exports from here:
+
+* :class:`ProtocolExtension` / :class:`ExtensionPipeline` -- the hook
+  interface and its dispatcher (see :mod:`repro.core.extensions.base`
+  for the full hook catalogue),
+* the registry -- :func:`register_extension`, :func:`extension_info`,
+  :func:`registered_extensions`, :func:`resolve_names`,
+  :func:`build_pipeline`, :class:`UnknownExtensionError`,
+* the built-in extensions -- :class:`PrefetchExtension` (P),
+  :class:`CompetitiveExtension` (CW), :class:`MigratoryExtension` (M)
+  and the drop-in :class:`FixedPrefetchExtension` (PF).
+
+``docs/protocol.md`` walks through writing a new extension.
+"""
+
+from repro.core.extensions.base import ExtensionPipeline, ProtocolExtension
+from repro.core.extensions.registry import (
+    ExtensionInfo,
+    UnknownExtensionError,
+    build_pipeline,
+    extension_info,
+    register_extension,
+    registered_extensions,
+    resolve_names,
+)
+
+# importing the built-in extension modules registers them
+from repro.core.extensions.prefetch_ext import PrefetchExtension
+from repro.core.extensions.fixed_prefetch import FixedPrefetchExtension
+from repro.core.extensions.competitive_ext import CompetitiveExtension
+from repro.core.extensions.migratory_ext import MigratoryExtension
+
+__all__ = [
+    "CompetitiveExtension",
+    "ExtensionInfo",
+    "ExtensionPipeline",
+    "FixedPrefetchExtension",
+    "MigratoryExtension",
+    "PrefetchExtension",
+    "ProtocolExtension",
+    "UnknownExtensionError",
+    "build_pipeline",
+    "extension_info",
+    "register_extension",
+    "registered_extensions",
+    "resolve_names",
+]

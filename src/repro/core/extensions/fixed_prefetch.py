@@ -1,0 +1,49 @@
+"""PF: fixed-degree sequential prefetching (ref [3]'s baseline).
+
+The drop-in extension the registry exists for: ref [3] compares
+*fixed* sequential prefetching (a constant degree K) against the
+adaptive scheme that became the paper's P.  The engine already
+supports it (``PrefetchConfig.adaptive=False`` freezes the degree);
+this one-file extension exposes it as a first-class protocol name, so
+
+    python -m repro run --app mp3d --extensions pf
+
+simulates fixed-degree prefetching, composable with CW and M like any
+other extension.  It conflicts with P (two prefetchers would race for
+the same SLWB entries and issue duplicate requests).
+
+Enable it by listing ``PF`` in ``ProtocolConfig.extra`` -- exactly
+what ``ProtocolConfig.from_name("PF")`` and the ``--extensions`` CLI
+flag do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import PrefetchConfig
+from repro.core.extensions.prefetch_ext import PrefetchExtension
+from repro.core.extensions.registry import ExtensionInfo, register_extension
+
+
+class FixedPrefetchExtension(PrefetchExtension):
+    """Sequential prefetching with a constant degree K."""
+
+    name = "PF"
+
+    def __init__(self, params: PrefetchConfig) -> None:
+        super().__init__(replace(params, adaptive=False))
+
+
+register_extension(
+    ExtensionInfo(
+        name="PF",
+        order=15,
+        description="fixed-degree sequential prefetching (ref [3])",
+        factory=lambda proto: FixedPrefetchExtension(proto.prefetch_params),
+        enabled=lambda proto: "PF" in proto.extra,
+        config_cls=PrefetchConfig,
+        conflicts=frozenset({"P"}),
+        traits=frozenset({"prefetch"}),
+    )
+)

@@ -1,0 +1,128 @@
+"""Name-keyed registry of protocol extensions.
+
+Every composable protocol extension (the paper's P, CW and M, plus any
+drop-ins) registers here under its canonical short name.  The registry
+is the single source of truth for
+
+* which extension names exist (``registered_extensions``),
+* their deterministic pipeline order (``ExtensionInfo.order``),
+* how a :class:`~repro.config.ProtocolConfig` maps to live extension
+  instances (``build_pipeline``),
+* parsing/canonicalizing user-facing combination strings such as
+  ``"p,cw,m"`` or ``"P+CW+M"`` (``resolve_names``).
+
+Adding a new extension is a one-file affair: subclass
+:class:`~repro.core.extensions.base.ProtocolExtension`, call
+:func:`register_extension` at import time, and import the module from
+:mod:`repro.core.extensions`.  ``ProtocolConfig.from_name``, the CLI
+``--extensions`` flag, ``RunSpec`` hashing and ``api.compare_protocols``
+all pick it up from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.extensions.base import ExtensionPipeline, ProtocolExtension
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
+    from repro.config import ProtocolConfig
+
+
+class UnknownExtensionError(ValueError):
+    """A protocol/extension name is not in the registry."""
+
+    def __init__(self, name: str) -> None:
+        known = ", ".join(sorted(_REGISTRY))
+        super().__init__(
+            f"unknown protocol extension {name!r}; registered extensions: {known}"
+        )
+        self.name = name
+
+
+@dataclass(frozen=True)
+class ExtensionInfo:
+    """Registry record for one protocol extension."""
+
+    #: canonical short name, e.g. ``"P"`` (case-insensitive on input).
+    name: str
+    #: pipeline position; extensions dispatch in ascending (order, name).
+    order: int
+    #: one-line human description for ``repro list-extensions``.
+    description: str
+    #: builds one per-node extension instance for a machine config.
+    factory: Callable[["ProtocolConfig"], ProtocolExtension]
+    #: is the extension enabled under this protocol config?
+    enabled: Callable[["ProtocolConfig"], bool]
+    #: dataclass holding the extension's tunables (None when none).
+    config_cls: type | None = None
+    #: names that cannot be combined with this extension.
+    conflicts: frozenset[str] = frozenset()
+    #: capability tags consulted by config/timing code, e.g.
+    #: ``"prefetch"`` (uses the deeper SLWB) or ``"requires_rc"``
+    #: (invalid under sequential consistency).
+    traits: frozenset[str] = field(default_factory=frozenset)
+
+
+_REGISTRY: dict[str, ExtensionInfo] = {}
+
+
+def register_extension(info: ExtensionInfo) -> ExtensionInfo:
+    """Add ``info`` to the registry (module-import time)."""
+    key = info.name.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"extension {info.name!r} registered twice")
+    _REGISTRY[key] = info
+    return info
+
+
+def extension_info(name: str) -> ExtensionInfo:
+    """The registry record for ``name`` (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise UnknownExtensionError(name) from None
+
+
+def registered_extensions() -> tuple[ExtensionInfo, ...]:
+    """All registered extensions in deterministic pipeline order."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda i: (i.order, i.name)))
+
+
+def resolve_names(names: Iterable[str]) -> tuple[str, ...]:
+    """Canonicalize a collection of extension names.
+
+    Case-insensitive, deduplicating, conflict-checking; the result is
+    in registry (pipeline) order, so ``resolve_names(["m", "P"])``
+    yields ``("P", "M")`` and hashes/cache-keys stay stable regardless
+    of how the user spelled the combination.
+    """
+    chosen: dict[str, ExtensionInfo] = {}
+    for raw in names:
+        info = extension_info(raw)
+        chosen[info.name] = info
+    for info in chosen.values():
+        hit = chosen.keys() & {c.upper() for c in info.conflicts}
+        if hit:
+            raise ValueError(
+                f"extension {info.name!r} cannot be combined with "
+                f"{sorted(hit)}"
+            )
+    return tuple(i.name for i in registered_extensions() if i.name in chosen)
+
+
+def build_pipeline(protocol: "ProtocolConfig") -> ExtensionPipeline:
+    """One fresh per-node pipeline for ``protocol``.
+
+    Instantiates every registered extension whose ``enabled`` predicate
+    accepts the config, in deterministic registry order.  Each node
+    gets its own pipeline (extensions hold per-node state).
+    """
+    return ExtensionPipeline(
+        tuple(
+            info.factory(protocol)
+            for info in registered_extensions()
+            if info.enabled(protocol)
+        )
+    )

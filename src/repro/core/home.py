@@ -1,35 +1,36 @@
 """Home-node (directory) controller.
 
-Implements the BASIC write-invalidate protocol of paper §2 and the
-home-side halves of the three extensions:
+Implements the **base write-invalidate protocol** of paper §2: read
+misses served from memory or fetched from the owner, ownership
+requests that invalidate the sharers, writebacks and replacement
+hints, plus the lock and barrier tables.
 
-* **P** (§3.1) -- prefetch read requests are ordinary read misses; under
-  P+M a prefetch to a migratory block returns an exclusive copy
-  (hardware read-exclusive prefetching).
-* **M** (§3.2) -- migratory detection on ownership requests, exclusive
-  grants on read misses to migratory blocks, and reversion when an
-  exclusively-granted copy is fetched away unmodified.
-* **CW** (§3.3/§3.4) -- write-cache flushes update memory and propagate
-  selective-word updates to the sharers; exclusivity is granted to a
-  sole sharer; under CW+M migratory blocks are detected by
-  interrogating copy holders on suspicious update sequences.
+Transient directory states are realized as per-block
+:class:`~repro.core.transactions.Xact` records; requests that hit a
+busy block are queued and replayed in order, which makes the home the
+serialization point exactly as in the paper.
 
-Transient directory states are realized as per-block transactions;
-requests that hit a busy block are queued and replayed in order, which
-makes the home the serialization point exactly as in the paper.
+The home-side halves of the protocol extensions -- migratory detection
+and exclusive read grants (M), write-cache flush/update/interrogation
+transactions (CW) -- live in :mod:`repro.core.extensions` and are
+dispatched through the node's
+:class:`~repro.core.extensions.ExtensionPipeline` at the hook call
+sites below.  Extensions drive the controller through its public
+surface (``mem_access``, ``reply``, ``open_xact``, ``close_xact``,
+``process_request``, ``drain_pending``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import ProtocolConfig, TimingConfig
-from repro.core import competitive, migratory
 from repro.core.directory import Directory, DirectoryEntry
+from repro.core.extensions import ExtensionPipeline, build_pipeline
 from repro.core.messages import Message, MsgType
 from repro.core.states import MemoryState
+from repro.core.transactions import Xact
 from repro.sim.engine import SimulationError, Simulator
 from repro.sync.barriers import BarrierTable
 from repro.sync.locks import LockTable
@@ -39,21 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover -- avoids a core <-> node cycle
 
 SendFn = Callable[[Message, int], None]
 
-
-@dataclass
-class _Xact:
-    """One in-flight (transient-state) transaction on a block."""
-
-    kind: str                     # 'fetch_read' | 'fetchinv_read' |
-                                  # 'fetchinv_write' | 'inv' | 'upd' |
-                                  # 'migq' | 'fetch_flush'
-    orig: Message
-    acks_left: int = 0
-    needs_data: bool = False
-    old_owner: int | None = None
-    droppers: set[int] = field(default_factory=set)
-    give_ups: set[int] = field(default_factory=set)
-    targets: set[int] = field(default_factory=set)
+#: historical name, kept for importers.
+_Xact = Xact
 
 
 class HomeController:
@@ -64,7 +52,6 @@ class HomeController:
             MsgType.RD_REQ,
             MsgType.RDX_REQ,
             MsgType.OWN_REQ,
-            MsgType.WC_FLUSH,
             MsgType.WB,
             MsgType.REPL,
         }
@@ -79,6 +66,7 @@ class HomeController:
         memory: "InterleavedMemory",
         send: SendFn,
         n_nodes: int,
+        pipeline: ExtensionPipeline | None = None,
     ) -> None:
         self.node_id = node_id
         self._sim = sim
@@ -90,7 +78,14 @@ class HomeController:
         self.directory = Directory()
         self.locks = LockTable()
         self.barriers = BarrierTable()
-        self._xacts: dict[int, _Xact] = {}
+        #: the node's protocol-extension pipeline (shared with the
+        #: cache controller when built by :class:`repro.node.node.Node`).
+        self.extensions = (
+            pipeline if pipeline is not None else build_pipeline(protocol)
+        )
+        self.extensions.attach_home(self)
+        self._ext_requests = self.extensions.home_request_types()
+        self._xacts: dict[int, Xact] = {}
         self._pending: dict[int, deque[Message]] = {}
         self.memory_accesses = 0
         self.migratory_detections = 0
@@ -98,7 +93,7 @@ class HomeController:
 
     # -- helpers --------------------------------------------------------
 
-    def _mem(self, t: int, block: int) -> int:
+    def mem_access(self, t: int, block: int) -> int:
         """Charge one memory/directory access; returns completion time.
 
         The module is fully interleaved (§4): the bank serving
@@ -108,74 +103,75 @@ class HomeController:
         self.memory_accesses += 1
         return self._memory.access(t, block)
 
-    def _reply(self, mtype: MsgType, dst: int, block: int, t: int, **kw) -> None:
+    def reply(self, mtype: MsgType, dst: int, block: int, t: int, **kw) -> None:
+        """Send a protocol message to cache ``dst`` at time ``t``."""
         self._send(Message(mtype, src=self.node_id, dst=dst, block=block, **kw), t)
 
     def busy(self, block: int) -> bool:
         """True if the block is in a transient state."""
         return block in self._xacts
 
+    def open_xact(self, block: int, xact: Xact) -> None:
+        """Put ``block`` into a transient state."""
+        self._xacts[block] = xact
+
+    def close_xact(self, block: int) -> None:
+        """End ``block``'s transient state (callers drain the queue)."""
+        del self._xacts[block]
+
     # -- entry point ----------------------------------------------------
 
     def deliver(self, msg: Message, t: int) -> None:
         """Handle a home-bound message arriving at time ``t``."""
-        if msg.mtype in self._REQUESTS:
+        if msg.mtype in self._REQUESTS or msg.mtype in self._ext_requests:
             if self.busy(msg.block):
                 self._pending.setdefault(msg.block, deque()).append(msg)
                 return
-            self._process_request(msg, t)
+            self.process_request(msg, t)
         elif msg.mtype is MsgType.LOCK_REQ:
             self._handle_lock_req(msg, t)
         elif msg.mtype is MsgType.LOCK_REL:
             self._handle_lock_rel(msg, t)
         elif msg.mtype is MsgType.BAR_ARRIVE:
             self._handle_barrier(msg, t)
-        elif msg.mtype in (
-            MsgType.INV_ACK,
-            MsgType.UPD_ACK,
-            MsgType.MIG_RPL,
-            MsgType.XFER_ACK,
-        ):
-            self._handle_ack(msg, t)
         else:
-            raise SimulationError(f"home {self.node_id}: unexpected {msg.mtype}")
+            # anything else must be an ack completing a transaction
+            self._handle_ack(msg, t)
 
     # -- stable-state request processing ---------------------------------
 
-    def _process_request(self, msg: Message, t: int) -> None:
+    def process_request(self, msg: Message, t: int) -> None:
+        """Process a request against a stable (non-busy) block."""
         entry = self.directory.entry(msg.block)
         if msg.mtype is MsgType.RD_REQ:
             self._handle_read(msg, entry, t)
         elif msg.mtype in (MsgType.RDX_REQ, MsgType.OWN_REQ):
             self._handle_write(msg, entry, t)
-        elif msg.mtype is MsgType.WC_FLUSH:
-            self._handle_wc_flush(msg, entry, t)
         elif msg.mtype is MsgType.WB:
             self._handle_writeback(msg, entry, t)
         elif msg.mtype is MsgType.REPL:
             entry.sharers.discard(msg.src)
+        elif not self.extensions.on_home_request(self, msg, entry, t):
+            raise SimulationError(
+                f"home {self.node_id}: unhandled request {msg.mtype}"
+            )
 
     def _handle_read(self, msg: Message, entry: DirectoryEntry, t: int) -> None:
         req = msg.src
         if entry.state is MemoryState.CLEAN:
-            t2 = self._mem(t, msg.block)
-            if migratory.grants_exclusive_read(self._protocol, entry):
-                if not migratory.reverts_on_second_reader(entry, req):
-                    # exclusive grant straight from memory (§3.2)
-                    entry.state = MemoryState.MODIFIED
-                    entry.owner = req
-                    entry.sharers.clear()
-                    self._reply(
-                        MsgType.RD_RPL, req, msg.block, t2,
-                        grant="MC", prefetch=msg.prefetch,
-                    )
-                    return
-                # a second reader on a clean migratory block: the
-                # pattern is no longer migratory.
-                entry.migratory = False
-                self.migratory_reversions += 1
+            t2 = self.mem_access(t, msg.block)
+            if self.extensions.grants_exclusive_read(self, entry, msg):
+                # exclusive grant straight from memory (§3.2)
+                entry.state = MemoryState.MODIFIED
+                entry.owner = req
+                entry.sharers.clear()
+                self.reply(
+                    MsgType.RD_RPL, req, msg.block, t2,
+                    grant="MC", prefetch=msg.prefetch,
+                )
+                return
             entry.sharers.add(req)
-            self._reply(
+            self.reply(
                 MsgType.RD_RPL, req, msg.block, t2,
                 grant="S", prefetch=msg.prefetch,
             )
@@ -188,20 +184,20 @@ class HomeController:
             raise SimulationError(
                 f"node {req} read-missed block {msg.block} it owns"
             )
-        t2 = self._mem(t, msg.block)
-        if migratory.grants_exclusive_read(self._protocol, entry):
-            self._xacts[msg.block] = _Xact(
-                kind="fetchinv_read", orig=msg, old_owner=owner
+        t2 = self.mem_access(t, msg.block)
+        if self.extensions.grants_exclusive_read(self, entry, msg):
+            self.open_xact(
+                msg.block, Xact(kind="fetchinv_read", orig=msg, old_owner=owner)
             )
-            self._reply(
+            self.reply(
                 MsgType.FETCH_INV, owner, msg.block, t2,
                 requester=req, grant="MC", prefetch=msg.prefetch,
             )
         else:
-            self._xacts[msg.block] = _Xact(
-                kind="fetch_read", orig=msg, old_owner=owner
+            self.open_xact(
+                msg.block, Xact(kind="fetch_read", orig=msg, old_owner=owner)
             )
-            self._reply(MsgType.FETCH, owner, msg.block, t2, requester=req)
+            self.reply(MsgType.FETCH, owner, msg.block, t2, requester=req)
 
     def _handle_write(self, msg: Message, entry: DirectoryEntry, t: int) -> None:
         req = msg.src
@@ -209,33 +205,33 @@ class HomeController:
             owner = entry.owner
             if owner == req:
                 # stale upgrade after an exclusivity grant raced it
-                self._reply(MsgType.OWN_ACK, req, msg.block, self._mem(t, msg.block))
+                self.reply(
+                    MsgType.OWN_ACK, req, msg.block, self.mem_access(t, msg.block)
+                )
                 return
-            t2 = self._mem(t, msg.block)
-            self._xacts[msg.block] = _Xact(
-                kind="fetchinv_write", orig=msg, old_owner=owner
+            t2 = self.mem_access(t, msg.block)
+            self.open_xact(
+                msg.block, Xact(kind="fetchinv_write", orig=msg, old_owner=owner)
             )
-            self._reply(
+            self.reply(
                 MsgType.FETCH_INV, owner, msg.block, t2, requester=req, grant="X"
             )
             return
         # CLEAN
         others = entry.sharers - {req}
-        if migratory.detects_on_ownership(self._protocol, entry, msg):
-            # read/write by last_writer followed by read/write by req:
-            # the block migrates (§3.2, refs [2, 12]).
-            entry.migratory = True
-            self.migratory_detections += 1
+        self.extensions.on_ownership_requested(self, entry, msg)
         needs_data = msg.mtype is MsgType.RDX_REQ or req not in entry.sharers
-        t2 = self._mem(t, msg.block)
+        t2 = self.mem_access(t, msg.block)
         if others:
-            xact = _Xact(
-                kind="inv", orig=msg, acks_left=len(others),
-                needs_data=needs_data, targets=set(others),
+            self.open_xact(
+                msg.block,
+                Xact(
+                    kind="inv", orig=msg, acks_left=len(others),
+                    needs_data=needs_data, targets=set(others),
+                ),
             )
-            self._xacts[msg.block] = xact
             for node in sorted(others):
-                self._reply(MsgType.INV, node, msg.block, t2, requester=req)
+                self.reply(MsgType.INV, node, msg.block, t2, requester=req)
             return
         self._grant_ownership(msg.block, entry, req, needs_data, t2)
 
@@ -246,100 +242,45 @@ class HomeController:
         entry.owner = req
         entry.sharers.clear()
         entry.last_writer = req
+        self.extensions.on_ownership_granted(self, entry, req)
         if needs_data:
-            self._reply(MsgType.RDX_RPL, req, block, t)
+            self.reply(MsgType.RDX_RPL, req, block, t)
         else:
-            self._reply(MsgType.OWN_ACK, req, block, t)
+            self.reply(MsgType.OWN_ACK, req, block, t)
 
     def _handle_writeback(self, msg: Message, entry: DirectoryEntry, t: int) -> None:
-        t2 = self._mem(t, msg.block)
+        t2 = self.mem_access(t, msg.block)
         if entry.state is MemoryState.MODIFIED and entry.owner == msg.src:
             entry.state = MemoryState.CLEAN
             entry.owner = None
         # stale writebacks (the block was fetched away first) still
         # update memory harmlessly.
-        self._reply(MsgType.WB_ACK, msg.src, msg.block, t2)
-
-    # -- competitive update (CW) -----------------------------------------
-
-    def _handle_wc_flush(self, msg: Message, entry: DirectoryEntry, t: int) -> None:
-        src = msg.src
-        if entry.state is MemoryState.MODIFIED:
-            if entry.owner == src:
-                # flusher already owns the block exclusively
-                self._reply(
-                    MsgType.WC_ACK, src, msg.block, self._mem(t, msg.block), exclusive=True
-                )
-                return
-            # another node holds it dirty: demote it first, then replay
-            t2 = self._mem(t, msg.block)
-            self._xacts[msg.block] = _Xact(
-                kind="fetch_flush", orig=msg, old_owner=entry.owner
-            )
-            # requester=-1: demote and ack home, no data forwarding
-            self._reply(MsgType.FETCH, entry.owner, msg.block, t2, requester=-1)
-            return
-        t2 = self._mem(t, msg.block)
-        others = entry.sharers - {src}
-        wants_migq = migratory.wants_interrogation(self._protocol, entry, msg)
-        entry.last_updater = src
-        if wants_migq:
-            # §3.4: interrogate every other copy holder
-            xact = _Xact(
-                kind="migq", orig=msg, acks_left=len(others), targets=set(others)
-            )
-            self._xacts[msg.block] = xact
-            for node in sorted(others):
-                self._reply(MsgType.MIG_QUERY, node, msg.block, t2)
-            return
-        if not others:
-            self._finish_flush_sole(msg, entry, t2)
-            return
-        xact = _Xact(
-            kind="upd", orig=msg, acks_left=len(others), targets=set(others)
-        )
-        self._xacts[msg.block] = xact
-        for node in sorted(others):
-            self._reply(MsgType.UPD_PROP, node, msg.block, t2, words=msg.words)
-
-    def _finish_flush_sole(self, msg: Message, entry: DirectoryEntry, t: int) -> None:
-        """No other sharer remains: maybe grant exclusivity (§3.3)."""
-        src = msg.src
-        # migratory blocks (CW+M, §3.4) always migrate to the writer so
-        # that update propagation stops; otherwise exclusivity is an
-        # optional traffic optimization (see CompetitiveConfig).
-        exclusive = competitive.grants_exclusivity_on_flush(
-            self._protocol.competitive_params.exclusive_grant, entry, src
-        )
-        if exclusive:
-            entry.state = MemoryState.MODIFIED
-            entry.owner = src
-            entry.sharers.clear()
-            entry.last_writer = src
-        self._reply(MsgType.WC_ACK, src, msg.block, t, exclusive=exclusive)
+        self.reply(MsgType.WB_ACK, msg.src, msg.block, t2)
 
     # -- synchronization ---------------------------------------------------
 
     def _handle_lock_req(self, msg: Message, t: int) -> None:
-        t2 = self._mem(t, msg.block)
+        t2 = self.mem_access(t, msg.block)
         if self.locks.request(msg.block, msg.src):
-            self._reply(MsgType.LOCK_GRANT, msg.src, msg.block, t2)
+            self.reply(MsgType.LOCK_GRANT, msg.src, msg.block, t2)
 
     def _handle_lock_rel(self, msg: Message, t: int) -> None:
-        t2 = self._mem(t, msg.block)
+        t2 = self.mem_access(t, msg.block)
         nxt = self.locks.release(msg.block, msg.src)
         if nxt is not None:
-            self._reply(MsgType.LOCK_GRANT, nxt, msg.block, t2)
-        self._reply(MsgType.LOCK_REL_ACK, msg.src, msg.block, t2)
+            self.reply(MsgType.LOCK_GRANT, nxt, msg.block, t2)
+        self.reply(MsgType.LOCK_REL_ACK, msg.src, msg.block, t2)
 
     def _handle_barrier(self, msg: Message, t: int) -> None:
-        t2 = self._mem(t, msg.block)
+        t2 = self.mem_access(t, msg.block)
         wake = self.barriers.arrive(msg.block, msg.src, msg.tag)
         if wake is not None:
             for node in wake:
-                self._reply(MsgType.BAR_WAKE, node, msg.block, t2)
+                self.reply(MsgType.BAR_WAKE, node, msg.block, t2)
 
     # -- transaction completion -------------------------------------------
+
+    _FETCH_KINDS = ("fetch_read", "fetchinv_read", "fetchinv_write")
 
     def _handle_ack(self, msg: Message, t: int) -> None:
         xact = self._xacts.get(msg.block)
@@ -348,39 +289,27 @@ class HomeController:
                 f"home {self.node_id}: stray {msg.mtype} for block {msg.block}"
             )
         entry = self.directory.entry(msg.block)
-        if msg.mtype is MsgType.XFER_ACK:
+        if msg.mtype is MsgType.XFER_ACK and xact.kind in self._FETCH_KINDS:
             self._finish_fetch(msg, xact, entry, t)
             return
         if msg.mtype is MsgType.INV_ACK:
-            if msg.words:
-                t = self._mem(t, msg.block)  # apply piggybacked write-cache words
+            t = self.extensions.absorb_ack_payload(self, msg, t)
             xact.acks_left -= 1
             if xact.acks_left == 0:
                 self._finish_invalidation(msg.block, xact, entry, t)
             return
-        if msg.mtype is MsgType.UPD_ACK:
-            xact.acks_left -= 1
-            if msg.drop:
-                xact.droppers.add(msg.src)
-            if xact.acks_left == 0:
-                self._finish_update(msg.block, xact, entry, t)
+        if self.extensions.on_home_ack(self, msg, xact, entry, t):
             return
-        if msg.mtype is MsgType.MIG_RPL:
-            if msg.words:
-                t = self._mem(t, msg.block)
-            xact.acks_left -= 1
-            if msg.give_up:
-                xact.give_ups.add(msg.src)
-            if xact.acks_left == 0:
-                self._finish_interrogation(msg.block, xact, entry, t)
-            return
-        raise SimulationError(f"unexpected ack {msg.mtype}")
+        raise SimulationError(
+            f"home {self.node_id}: unexpected {msg.mtype} for "
+            f"{xact.kind} transaction on block {msg.block}"
+        )
 
     def _finish_fetch(
-        self, msg: Message, xact: _Xact, entry: DirectoryEntry, t: int
+        self, msg: Message, xact: Xact, entry: DirectoryEntry, t: int
     ) -> None:
         if msg.was_modified:
-            t = self._mem(t, msg.block)  # absorb the carried writeback
+            t = self.mem_access(t, msg.block)  # absorb the carried writeback
         req = xact.orig.src
         block = msg.block
         if xact.kind == "fetch_read":
@@ -391,86 +320,28 @@ class HomeController:
                 entry.sharers.add(xact.old_owner)
         elif xact.kind == "fetchinv_read":
             entry.owner = req  # stays MODIFIED, exclusivity migrates
-            if migratory.reverts_on_unmodified_transfer(msg.was_modified):
-                # the previous owner never wrote: revert (§3.2)
-                entry.migratory = False
-                self.migratory_reversions += 1
-        elif xact.kind == "fetchinv_write":
+            self.extensions.on_exclusive_read_transfer(self, entry, msg)
+        else:  # fetchinv_write
             entry.owner = req
             entry.last_writer = req
-        elif xact.kind == "fetch_flush":
-            entry.state = MemoryState.CLEAN
-            entry.owner = None
-            entry.sharers = set()
-            if not msg.drop and xact.old_owner is not None:
-                entry.sharers.add(xact.old_owner)
-            del self._xacts[block]
-            self._process_request(xact.orig, t)
-            self._drain_pending(block)
-            return
-        else:
-            raise SimulationError(f"XFER_ACK for xact kind {xact.kind}")
-        del self._xacts[block]
-        self._drain_pending(block)
+        self.close_xact(block)
+        self.drain_pending(block)
 
     def _finish_invalidation(
-        self, block: int, xact: _Xact, entry: DirectoryEntry, t: int
+        self, block: int, xact: Xact, entry: DirectoryEntry, t: int
     ) -> None:
         req = xact.orig.src
         entry.sharers &= {req}
         if xact.needs_data:
-            t = self._mem(t, block)
+            t = self.mem_access(t, block)
         self._grant_ownership(block, entry, req, xact.needs_data, t)
-        del self._xacts[block]
-        self._drain_pending(block)
+        self.close_xact(block)
+        self.drain_pending(block)
 
-    def _finish_update(
-        self, block: int, xact: _Xact, entry: DirectoryEntry, t: int
-    ) -> None:
-        entry.sharers -= xact.droppers
-        self._finish_flush_sole_or_shared(block, xact, entry, t)
-
-    def _finish_interrogation(
-        self, block: int, xact: _Xact, entry: DirectoryEntry, t: int
-    ) -> None:
-        src = xact.orig.src
-        if migratory.confirms_interrogation(xact.targets, xact.give_ups):
-            # every other holder gave up its copy: migratory (§3.4)
-            entry.sharers -= xact.give_ups
-            entry.migratory = True
-            self.migratory_detections += 1
-            self._finish_flush_sole_or_shared(block, xact, entry, t)
-            return
-        entry.sharers -= xact.give_ups
-        remaining = entry.sharers - {src}
-        if not remaining:
-            self._finish_flush_sole_or_shared(block, xact, entry, t)
-            return
-        # not migratory: continue as a normal update propagation
-        xact.kind = "upd"
-        xact.acks_left = len(remaining)
-        xact.targets = set(remaining)
-        xact.droppers = set()
-        for node in sorted(remaining):
-            self._reply(
-                MsgType.UPD_PROP, node, block, t, words=xact.orig.words
-            )
-
-    def _finish_flush_sole_or_shared(
-        self, block: int, xact: _Xact, entry: DirectoryEntry, t: int
-    ) -> None:
-        src = xact.orig.src
-        others = entry.sharers - {src}
-        if not others:
-            self._finish_flush_sole(xact.orig, entry, t)
-        else:
-            self._reply(MsgType.WC_ACK, src, block, t, exclusive=False)
-        del self._xacts[block]
-        self._drain_pending(block)
-
-    def _drain_pending(self, block: int) -> None:
+    def drain_pending(self, block: int) -> None:
+        """Replay requests queued while ``block`` was in transit."""
         queue = self._pending.get(block)
         while queue and not self.busy(block):
-            self._process_request(queue.popleft(), self._sim.now)
+            self.process_request(queue.popleft(), self._sim.now)
         if queue is not None and not queue:
             del self._pending[block]

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import argparse
 
-from repro.config import Consistency
 from repro.core.hwcost import cost_table, directory_overhead_fraction
 from repro.experiments.formats import render_table
 from repro.experiments.runner import make_config

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.config import SystemConfig
 from repro.core.cache_ctrl import CacheController, SendFn
+from repro.core.extensions import build_pipeline
 from repro.core.home import HomeController
 from repro.mem.addrmap import AddressMap
 from repro.node.bus import SplitTransactionBus
@@ -44,9 +45,12 @@ class Node:
             access_pclocks=cfg.timing.memory_latency,
         )
         self.slc_pipe = FcfsResource(name=f"slc{node_id}")
+        #: one protocol-extension pipeline per node, shared by the
+        #: requester and directory sides (extensions hold per-node state)
+        self.extensions = build_pipeline(cfg.protocol)
         self.cache = CacheController(
             node_id, sim, cfg, amap, self.slc_pipe, send, cache_stats,
-            placement=placement,
+            placement=placement, pipeline=self.extensions,
         )
         self.home = HomeController(
             node_id,
@@ -56,4 +60,5 @@ class Node:
             self.memory,
             send,
             cfg.n_procs,
+            pipeline=self.extensions,
         )

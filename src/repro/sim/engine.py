@@ -77,15 +77,18 @@ class Simulator:
     def run(self, until: int | None = None, max_events: int | None = None) -> None:
         """Run until the event queue drains.
 
-        ``until`` stops the clock at a given time (events beyond it remain
-        queued); ``max_events`` guards against runaway simulations.
+        ``until`` stops the clock at a given time (events beyond it
+        remain queued, and ``now`` always advances to ``until`` even if
+        the queue drains -- or was empty -- first); ``max_events``
+        guards against runaway simulations.
         """
         while self._heap:
             if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return
+                break
             if max_events is not None and self._events_fired >= max_events:
                 raise SimulationError(
                     f"event budget of {max_events} exhausted at t={self.now}"
                 )
             self.step()
+        if until is not None and until > self.now:
+            self.now = until

@@ -24,6 +24,14 @@ class TestParser:
         args = build_parser().parse_args(["run", "--mesh", "16"])
         assert args.mesh == 16
 
+    def test_extensions_flag(self):
+        args = build_parser().parse_args(["run", "--extensions", "p,m"])
+        assert args.extensions == "p,m"
+        args = build_parser().parse_args(
+            ["compare", "--extensions", "basic", "pf+m"]
+        )
+        assert args.extensions == ["basic", "pf+m"]
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -54,6 +62,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "BASIC" in out and "P" in out
         assert "rel. time" in out
+
+    def test_run_with_extensions_combo(self, capsys):
+        rc = main(["run", "--app", "water", "--scale", "0.2",
+                   "--procs", "4", "--extensions", "pf,m"])
+        assert rc == 0
+        assert "water / PF+M" in capsys.readouterr().out
+
+    def test_compare_with_extension_combos(self, capsys):
+        rc = main([
+            "compare", "--app", "water", "--scale", "0.2", "--procs", "4",
+            "--extensions", "BASIC", "m+cw", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CW+M" in out  # canonicalized combo name
+
+    def test_list_extensions(self, capsys):
+        rc = main(["list-extensions"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("P", "PF", "CW", "M"):
+            assert name in out
+        assert "PrefetchConfig" in out
 
     def test_analyze_census(self, capsys):
         rc = main(["analyze", "--app", "mp3d", "--scale", "0.2",

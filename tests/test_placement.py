@@ -11,7 +11,6 @@ from repro.mem.placement import (
     RoundRobinPlacement,
     make_placement,
 )
-from repro.system import System
 
 
 class TestPolicies:

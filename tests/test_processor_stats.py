@@ -2,7 +2,7 @@
 
 from conftest import BLOCK, pad_streams, run_streams, tiny_config
 
-from repro.stats.counters import MachineStats, ProcessorStats
+from repro.stats.counters import MachineStats
 
 
 class TestDecomposition:

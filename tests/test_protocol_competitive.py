@@ -4,7 +4,6 @@ import pytest
 from conftest import BLOCK, pad_streams, run_streams, tiny_config
 
 from repro.config import (
-    CacheConfig,
     CompetitiveConfig,
     ProtocolConfig,
     SystemConfig,

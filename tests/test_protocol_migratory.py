@@ -121,7 +121,6 @@ class TestReversion:
             4,
         )
         system = run_streams(cfg, streams)
-        entry = system.nodes[0].home.directory.entry(0)
         holders = [
             n.node_id
             for n in system.nodes

@@ -3,7 +3,6 @@
 from repro.config import SystemConfig
 from repro.mem.addrmap import AddressMap
 from repro.stats.sharing import (
-    BlockUsage,
     Pattern,
     analyze,
     classify_block,

@@ -76,6 +76,20 @@ def test_run_until_leaves_future_events_queued():
     assert fired == ["a", "b"]
 
 
+def test_run_until_advances_clock_when_heap_drains():
+    # the clock must reach `until` even if the queue empties first
+    # (or was empty all along) -- epoch-stepped drivers rely on it.
+    sim = Simulator()
+    fired = []
+    sim.after(3, fired.append, "a")
+    sim.run(until=10)
+    assert fired == ["a"]
+    assert sim.now == 10
+    sim.run(until=25)
+    assert sim.now == 25
+    assert sim.pending_events == 0
+
+
 def test_max_events_guard():
     sim = Simulator()
 

@@ -12,7 +12,7 @@ class TestLockTable:
     def test_free_lock_granted_immediately(self):
         locks = LockTable()
         assert locks.request(0x100, 3) is True
-        assert locks.holder_of(0x100) is 3
+        assert locks.holder_of(0x100) == 3
 
     def test_held_lock_queues(self):
         locks = LockTable()
