@@ -1,0 +1,262 @@
+"""Benchmark regression harness: ``repro bench``.
+
+Runs a fixed matrix of (workload x protocol) cells, reports simulator
+throughput (events/sec, min-of-N wall time) and emits the results as
+``BENCH_<rev>.json`` in a stable schema so that any two revisions can
+be compared cell by cell.  CI runs the quick matrix as a smoke job and
+fails when a cell regresses more than the allowed factor against the
+committed ``benchmarks/baseline.json``.
+
+Schema (``SCHEMA_VERSION = 1``)::
+
+    {
+      "schema_version": 1,
+      "revision": "<git short rev, '+dirty' suffix when unclean>",
+      "python": "3.12.1",
+      "platform": "Linux-...",
+      "repeat": 3,
+      "cells": [
+        {"app": ..., "protocol": ..., "n_procs": ..., "scale": ...,
+         "events": ..., "wall_s": ..., "events_per_sec": ...,
+         "execution_time": ...},
+        ...
+      ],
+      "totals": {"events": ..., "wall_s": ..., "events_per_sec": ...}
+    }
+
+``events`` and ``execution_time`` are deterministic (pinned by the
+golden parity suite); only ``wall_s`` / ``events_per_sec`` vary with
+the machine.  Wall time per cell is the minimum over ``repeat`` runs,
+which is the standard way to suppress scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.system import System
+from repro.workloads import build_workload
+
+SCHEMA_VERSION = 1
+
+#: (app, protocol, n_procs, scale) cells of the quick (CI smoke)
+#: matrix: the hot-path microbenchmark the fast path targets, plus
+#: paper cells covering every extension and the busiest combination.
+QUICK_MATRIX: tuple[tuple[str, str, int, float], ...] = (
+    ("hitpath", "BASIC", 1, 1.0),
+    ("mp3d", "BASIC", 16, 0.3),
+    ("mp3d", "P+CW+M", 16, 0.3),
+    ("water", "P", 16, 0.3),
+    ("lu", "BASIC", 16, 0.3),
+    ("cholesky", "CW", 16, 0.3),
+    ("ocean", "M", 16, 0.3),
+)
+
+#: the five paper applications under all eight protocol combinations
+FULL_MATRIX: tuple[tuple[str, str, int, float], ...] = tuple(
+    (app, proto, 16, 0.3)
+    for app in ("mp3d", "cholesky", "water", "lu", "ocean")
+    for proto in (
+        "BASIC", "P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M"
+    )
+)
+
+
+def git_revision(repo: Path | None = None) -> str:
+    """Short git revision of ``repo`` (cwd), ``+dirty`` when unclean."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return rev + ("+dirty" if dirty else "")
+
+
+def run_cell(
+    app: str, protocol: str, n_procs: int, scale: float, repeat: int = 3
+) -> dict:
+    """Run one matrix cell ``repeat`` times; report the best wall time."""
+    cfg = SystemConfig(n_procs=n_procs).with_protocol(protocol)
+    streams = build_workload(app, cfg, scale=scale)
+    best = None
+    events = execution_time = 0
+    for _ in range(max(1, repeat)):
+        system = System(cfg)
+        t0 = time.perf_counter()
+        stats = system.run(streams)
+        wall = time.perf_counter() - t0
+        events = system.sim.events_fired
+        execution_time = stats.execution_time
+        if best is None or wall < best:
+            best = wall
+    return {
+        "app": app,
+        "protocol": protocol,
+        "n_procs": n_procs,
+        "scale": scale,
+        "events": events,
+        "wall_s": round(best, 6),
+        "events_per_sec": round(events / best, 1),
+        "execution_time": execution_time,
+    }
+
+
+def run_matrix(
+    matrix=QUICK_MATRIX, repeat: int = 3, verbose: bool = False
+) -> dict:
+    """Run every cell of ``matrix``; return the result document."""
+    cells = []
+    for app, protocol, n_procs, scale in matrix:
+        cell = run_cell(app, protocol, n_procs, scale, repeat=repeat)
+        cells.append(cell)
+        if verbose:
+            print(
+                f"  {app:<10} {protocol:<8} np={n_procs:<3} "
+                f"events={cell['events']:>9} wall={cell['wall_s']:.4f}s "
+                f"ev/s={cell['events_per_sec']:>11.0f}",
+                flush=True,
+            )
+    tot_events = sum(c["events"] for c in cells)
+    tot_wall = sum(c["wall_s"] for c in cells)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "cells": cells,
+        "totals": {
+            "events": tot_events,
+            "wall_s": round(tot_wall, 6),
+            "events_per_sec": round(tot_events / tot_wall, 1),
+        },
+    }
+
+
+def cell_key(cell: dict) -> tuple:
+    """Identity of a cell, for matching across result documents."""
+    return (cell["app"], cell["protocol"], cell["n_procs"], cell["scale"])
+
+
+def compare(current: dict, baseline: dict, threshold: float = 2.0) -> list:
+    """Cells of ``current`` slower than ``baseline`` by > ``threshold``.
+
+    Returns ``(key, current_evps, baseline_evps, slowdown)`` tuples;
+    an empty list means no cell regressed.  Cells present in only one
+    document are ignored (the matrix may grow between revisions).
+    """
+    base_by_key = {cell_key(c): c for c in baseline.get("cells", [])}
+    regressions = []
+    for cell in current.get("cells", []):
+        base = base_by_key.get(cell_key(cell))
+        if base is None:
+            continue
+        cur_evps = cell["events_per_sec"]
+        base_evps = base["events_per_sec"]
+        if cur_evps <= 0 or base_evps <= 0:
+            continue
+        slowdown = base_evps / cur_evps
+        if slowdown > threshold:
+            regressions.append(
+                (cell_key(cell), cur_evps, base_evps, round(slowdown, 2))
+            )
+    return regressions
+
+
+def write_result(result: dict, out: Path) -> None:
+    """Write a result document as stable, diff-friendly JSON."""
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def load_result(path: Path) -> dict:
+    """Load a result document, checking the schema version."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r}, expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def add_bench_args(parser) -> None:
+    """Register the harness options on ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the full 5x8 paper matrix instead of the quick one",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="runs per cell; wall time is the minimum (default 3)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="output JSON path (default BENCH_<rev>.json)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="allowed slowdown factor per cell for --check (default 2)",
+    )
+
+
+def run_bench(args) -> int:
+    """Run the harness from a parsed argument namespace."""
+    matrix = FULL_MATRIX if args.full else QUICK_MATRIX
+    name = "full" if args.full else "quick"
+    print(f"running {name} matrix ({len(matrix)} cells, "
+          f"min of {args.repeat} runs; python {platform.python_version()})")
+    result = run_matrix(matrix, repeat=args.repeat, verbose=True)
+    totals = result["totals"]
+    print(f"TOTAL events={totals['events']} wall={totals['wall_s']:.4f}s "
+          f"ev/s={totals['events_per_sec']:.0f}")
+
+    out = Path(args.out) if args.out else Path(
+        f"BENCH_{result['revision']}.json"
+    )
+    write_result(result, out)
+    print(f"wrote {out}")
+
+    if args.check:
+        baseline = load_result(Path(args.check))
+        regressions = compare(result, baseline, threshold=args.threshold)
+        if regressions:
+            print(f"REGRESSION vs {args.check} (threshold {args.threshold}x):")
+            for key, cur, base, slowdown in regressions:
+                print(f"  {key}: {base:.0f} -> {cur:.0f} ev/s "
+                      f"({slowdown}x slower)")
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(threshold {args.threshold}x, "
+              f"baseline rev {baseline['revision']})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for standalone use (``python -m repro.bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="benchmark regression harness"
+    )
+    add_bench_args(parser)
+    return run_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Subcommands:
 * ``analyze``     -- static sharing-pattern census of a workload,
 * ``trace``       -- dump a workload's reference streams to a trace
   file (or simulate from an existing trace file),
+* ``bench``       -- benchmark regression harness (events/sec over a
+  fixed workload x protocol matrix, JSON artifacts),
 * ``experiments`` -- dispatch to the table/figure drivers.
 """
 
@@ -78,10 +80,32 @@ def cmd_run(args) -> int:
         streams = load_streams(args.trace_file)
     else:
         streams = build_workload(args.app, cfg, scale=args.scale)
-    stats = System(cfg).run(streams)
+    system = System(cfg)
+    if args.profile or args.profile_out:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats = system.run(streams)
+        profiler.disable()
+    else:
+        stats = system.run(streams)
     title = f"{args.app} / {cfg.protocol.name} / {cfg.consistency.value}"
     print(render_table(("metric", "value"), _summary_rows(stats), title=title))
+    if args.profile or args.profile_out:
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"wrote pstats dump to {args.profile_out}")
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark regression harness."""
+    from repro.bench import run_bench
+
+    return run_bench(args)
 
 
 def cmd_compare(args) -> int:
@@ -261,7 +285,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace-file", help="drive the run from a trace file instead"
     )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="profile the run and print the top 25 cumulative entries",
+    )
+    p_run.add_argument(
+        "--profile-out", metavar="FILE",
+        help="write the profile as a pstats dump (implies --profile)",
+    )
     p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark regression harness (events/sec matrix)"
+    )
+    from repro.bench import add_bench_args
+
+    add_bench_args(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="rank protocols on one app")
     common(p_cmp, multi=True)

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable
 
 from repro.config import SystemConfig
 from repro.core.extensions import ExtensionPipeline, build_pipeline
 from repro.core.messages import Message, MsgType
 from repro.core.states import CacheState
-from repro.mem.addrmap import AddressMap
+from repro.mem.addrmap import WORD_SIZE, AddressMap
 from repro.mem.flc import FirstLevelCache
 from repro.mem.slc import CacheLine, SecondLevelCache
 from repro.mem.write_buffers import Flwb, FlwbEntry, Slwb, SlwbKind
@@ -45,7 +46,7 @@ SendFn = Callable[[Message, int], None]
 DoneFn = Callable[[], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRead:
     """An outstanding read (demand or prefetch) for one block."""
 
@@ -59,7 +60,7 @@ class _PendingRead:
     deferred: list[Message] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingWrite:
     """An outstanding ownership request (OWN_REQ / RDX_REQ)."""
 
@@ -71,7 +72,7 @@ class _PendingWrite:
     deferred: list[Message] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SyncMarker:
     """A release or barrier waiting for prior writes to perform."""
 
@@ -105,7 +106,14 @@ class CacheController:
         self.sim = sim
         self.cfg = cfg
         self._timing = cfg.timing
+        # hot-path copies of the two timing parameters every reference
+        # touches (one attribute hop instead of two)
+        self._flc_hit = cfg.timing.flc_hit
+        self._slc_access = cfg.timing.slc_access
+        self._flc_fill = cfg.timing.flc_fill
         self._amap = amap
+        # block/word arithmetic inlined on the reference path
+        self._bsize = amap.block_size
         self._slc_res = slc_res
         self._send = send
         self.stats = stats
@@ -125,6 +133,20 @@ class CacheController:
             pipeline if pipeline is not None else build_pipeline(cfg.protocol)
         )
         self.extensions.attach_cache(self)
+        #: hot-path alias: the pipeline's extension tuple.  An empty
+        #: pipeline is the common case (BASIC cells), and a falsy-tuple
+        #: test is far cheaper than dispatching a no-op hook loop, so
+        #: hook call sites below guard on this.
+        self._exts = self.extensions.extensions
+        # hot-path aliases into the FLC / FLWB internals (the dict and
+        # deque are created once and only ever mutated in place)
+        self._flc_sets = self.flc._sets
+        self._flc_nsets = self.flc._n_sets
+        self._flwb_fifo = self.flwb._fifo
+        #: block -> home node.  Both placement policies are stable once
+        #: a page's home is assigned (and every query here carries a
+        #: toucher), so memoizing per block is exact.
+        self._home_cache: dict[int, int] = {}
 
         self._pending_reads: dict[int, _PendingRead] = {}
         self._pending_writes: dict[int, _PendingWrite] = {}
@@ -156,21 +178,93 @@ class CacheController:
     # processor-facing API
     # ------------------------------------------------------------------
 
-    def read(self, addr: int, on_done: DoneFn) -> None:
-        """Demand read; ``on_done`` fires when the data is bound."""
-        block = self._amap.block_of(addr)
-        if self.flc.lookup(block):
-            self.sim.after(self._timing.flc_hit, on_done)
-            return
-        if self._flwb_forwards(addr):
+    # Each op has an explicit-issue-time ``*_at`` form taking the issue
+    # time ``t`` (>= ``sim.now``) as an argument: the processor's tight
+    # issue loop runs ahead of the wall clock and issues ops at logical
+    # times the heap has not reached yet.  Its crossing rule guarantees
+    # no event fires in between, so performing the issue-time side
+    # effects (FCFS reservations, buffer pushes, message sends,
+    # scheduling) early preserves their exact order.  The classic
+    # ``sim.now``-relative forms remain as thin wrappers.
+
+    def read_at(self, addr: int, t: int, on_done: DoneFn) -> int:
+        """Demand read issued at time ``t``.
+
+        Returns the completion time when the reference resolves
+        without needing ``on_done`` (FLC hit, FLWB store-to-load
+        forward, or an SLC hit that no other event can interleave
+        with) -- the caller continues synchronously, accounting for
+        the elided completion event -- or ``-1`` after starting the
+        SLC/miss path, which fires ``on_done`` when data is bound.
+        """
+        block = addr // self._bsize
+        # FLC lookup and FLWB store-to-load probe, inlined (the two
+        # checks every reference makes)
+        if self._flc_sets.get(block % self._flc_nsets) == block:
+            return t + self._flc_hit
+        if self._flwb_fifo and self.flwb.contains_write_to(addr):
             # store-to-load forwarding: the word sits in the FLWB
             self.stats.flwb_forwards += 1
-            self.sim.after(self._timing.flc_hit, on_done)
-            return
-        t1 = self._slc_res.finish_time(
-            self.sim.now + self._timing.flc_hit, self._timing.slc_access
-        )
-        self.sim.at(t1, self._slc_read, block, on_done, self.sim.now)
+            return t + self._flc_hit
+        sim = self.sim
+        # SLC pipeline reservation (FcfsResource.finish_time, inlined)
+        occ = self._slc_access
+        res = self._slc_res
+        ready = t + self._flc_hit
+        free = res._free_at
+        t1 = (ready if ready > free else free) + occ
+        res._free_at = t1
+        res.busy_cycles += occ
+        res.reservations += 1
+        heap = sim._heap
+        if (heap and heap[0][0] <= t1) or t1 > sim._until:
+            heappush(heap, (t1, sim._seq, self._slc_read, (block, on_done, t)))
+            sim._seq += 1
+            return -1
+        # No event fires before the SLC lookup completes: run what the
+        # scheduled ``_slc_read`` would have done now, with the clock
+        # advanced, and credit the elided event.
+        sim.now = t1
+        sim._events_fired += 1
+        exts = self._exts
+        line = self.slc.lookup(block)
+        if line is not None:
+            if exts:
+                self.extensions.on_read_hit(self, line)
+            self.flc.fill(block)
+        elif exts and self.extensions.absorbs_read(self, block):
+            line = True  # resolved from the write cache, no FLC fill
+        else:
+            # miss path, exactly as the scheduled event would run it
+            pr = self._pending_reads.get(block)
+            if pr is not None:
+                if exts:
+                    self.extensions.on_read_merged(self, pr)
+                pr.demand_waiters.append(on_done)
+                return -1
+            pw = self._pending_writes.get(block)
+            if pw is not None:
+                pw.read_waiters.append(on_done)
+                return -1
+            if exts and self.extensions.defers_read(self, block, on_done, t):
+                return -1
+            self._demand_miss(block, on_done, t)
+            return -1
+        t_done = t1 + self._flc_fill
+        if (not heap or heap[0][0] > t_done) and t_done <= sim._until:
+            # the completion event is elidable too; the caller accounts
+            # for it (boundary credit or an explicit reschedule)
+            sim.now = t_done
+            return t_done
+        heappush(heap, (t_done, sim._seq, on_done, ()))
+        sim._seq += 1
+        return -1
+
+    def read(self, addr: int, on_done: DoneFn) -> None:
+        """Demand read; ``on_done`` fires when the data is bound."""
+        done = self.read_at(addr, self.sim.now, on_done)
+        if done >= 0:
+            self.sim.at(done, on_done)
 
     def _flwb_forwards(self, addr: int) -> bool:
         """True if a buffered write to the same word can satisfy a read."""
@@ -180,44 +274,76 @@ class CacheController:
         """True when the FLWB can accept a write without stalling."""
         return not self.flwb.full
 
+    def buffer_write_at(self, addr: int, t: int) -> None:
+        """RC write path: enqueue in the FLWB (at time ``t``) and go."""
+        # Flwb.push inlined (the caller has already checked for room)
+        flwb = self.flwb
+        writes = flwb._writes + 1
+        if writes > flwb.capacity:
+            raise OverflowError("FLWB overflow")
+        flwb._writes = writes
+        if writes > flwb.peak_occupancy:
+            flwb.peak_occupancy = writes
+        self._flwb_fifo.append(FlwbEntry(addr, t))
+        self._pump_drain(t)
+
     def buffer_write(self, addr: int) -> None:
         """RC write path: enqueue in the FLWB and keep going."""
-        self.flwb.push(FlwbEntry(addr=addr, issue_time=self.sim.now))
-        self._pump_drain()
+        self.buffer_write_at(addr, self.sim.now)
 
     def when_write_space(self, cb: Callable[[], None]) -> None:
         """Call ``cb`` when the FLWB has room again (processor stall)."""
         self._flwb_space_waiters.append(cb)
 
+    def write_blocking_at(self, addr: int, on_done: DoneFn, t: int) -> None:
+        """SC write path issued at ``t``; ``on_done`` when performed."""
+        t1 = self._slc_res.finish_time(t, self._slc_access)
+        self.sim.at(t1, self._write_blocking_at_slc, addr, on_done)
+
     def write_blocking(self, addr: int, on_done: DoneFn) -> None:
         """SC write path: ``on_done`` when globally performed."""
-        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
-        self.sim.at(t1, self._write_blocking_at_slc, addr, on_done)
+        self.write_blocking_at(addr, on_done, self.sim.now)
+
+    def acquire_at(self, addr: int, on_done: DoneFn, t: int) -> None:
+        """Acquire a lock at time ``t``; ``on_done`` on LOCK_GRANT."""
+        block = self._amap.block_of(addr)
+        self._lock_waiters.setdefault(block, deque()).append(on_done)
+        self.send_home(MsgType.LOCK_REQ, block, t=t)
 
     def acquire(self, addr: int, on_done: DoneFn) -> None:
         """Acquire a lock; ``on_done`` on LOCK_GRANT."""
-        block = self._amap.block_of(addr)
-        self._lock_waiters.setdefault(block, deque()).append(on_done)
-        self.send_home(MsgType.LOCK_REQ, block)
+        self.acquire_at(addr, on_done, self.sim.now)
 
-    def release(self, addr: int, on_performed: DoneFn | None = None) -> None:
-        """Release a lock after all earlier writes have performed.
+    def release_at(
+        self, addr: int, t: int, on_performed: DoneFn | None = None
+    ) -> None:
+        """Release a lock (issued at ``t``) after earlier writes perform.
 
         Under RC the processor continues immediately; pass
         ``on_performed`` (SC) to learn when the release completes.
         """
         block = self._amap.block_of(addr)
         marker = SyncMarker(kind="release", target=block, on_done=on_performed)
-        self.flwb.push(FlwbEntry(addr=-1, issue_time=self.sim.now, marker=marker))
-        self._pump_drain()
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=t, marker=marker))
+        self._pump_drain(t)
 
-    def barrier(self, bar_id: int, expected: int, on_done: DoneFn) -> None:
-        """Arrive at a barrier once earlier writes performed; wait wake."""
+    def release(self, addr: int, on_performed: DoneFn | None = None) -> None:
+        """Release a lock after all earlier writes have performed."""
+        self.release_at(addr, self.sim.now, on_performed)
+
+    def barrier_at(
+        self, bar_id: int, expected: int, on_done: DoneFn, t: int
+    ) -> None:
+        """Arrive at a barrier at time ``t``; ``on_done`` on wake."""
         marker = SyncMarker(
             kind="barrier", target=bar_id, expected=expected, on_done=on_done
         )
-        self.flwb.push(FlwbEntry(addr=-1, issue_time=self.sim.now, marker=marker))
-        self._pump_drain()
+        self.flwb.push(FlwbEntry(addr=-1, issue_time=t, marker=marker))
+        self._pump_drain(t)
+
+    def barrier(self, bar_id: int, expected: int, on_done: DoneFn) -> None:
+        """Arrive at a barrier once earlier writes performed; wait wake."""
+        self.barrier_at(bar_id, expected, on_done, self.sim.now)
 
     # ------------------------------------------------------------------
     # extension-facing API
@@ -225,7 +351,7 @@ class CacheController:
 
     def slc_finish(self, t: int) -> int:
         """Completion time of an SLC access starting at ``t``."""
-        return self._slc_res.finish_time(t, self._timing.slc_access)
+        return self._slc_res.finish_time(t, self._slc_access)
 
     def has_pending(self, block: int) -> bool:
         """A read or ownership request for ``block`` is in flight."""
@@ -269,25 +395,28 @@ class CacheController:
     # ------------------------------------------------------------------
 
     def _slc_read(self, block: int, on_done: DoneFn, t0: int) -> None:
+        exts = self._exts
         line = self.slc.lookup(block)
         if line is not None:
-            self.extensions.on_read_hit(self, line)
+            if exts:
+                self.extensions.on_read_hit(self, line)
             self.flc.fill(block)
             self.sim.after(self._timing.flc_fill, on_done)
             return
-        if self.extensions.absorbs_read(self, block):
+        if exts and self.extensions.absorbs_read(self, block):
             self.sim.after(self._timing.flc_fill, on_done)
             return
         pr = self._pending_reads.get(block)
         if pr is not None:
-            self.extensions.on_read_merged(self, pr)
+            if exts:
+                self.extensions.on_read_merged(self, pr)
             pr.demand_waiters.append(on_done)
             return
         pw = self._pending_writes.get(block)
         if pw is not None:
             pw.read_waiters.append(on_done)
             return
-        if self.extensions.defers_read(self, block, on_done, t0):
+        if exts and self.extensions.defers_read(self, block, on_done, t0):
             return
         self._demand_miss(block, on_done, t0)
 
@@ -300,46 +429,112 @@ class CacheController:
             self.stats.coherence_misses += 1
         else:
             self.stats.replacement_misses += 1
-        self.extensions.on_demand_miss(self, block)
-
-        def issue() -> None:
-            # the state may have moved while we waited for SLWB room
-            if self.slc.lookup(block) is not None:
-                self.sim.after(0, on_done)
-                return
-            pr = self._pending_reads.get(block)
-            if pr is not None:
-                pr.demand_waiters.append(on_done)
-                return
-            pw = self._pending_writes.get(block)
-            if pw is not None:
-                pw.read_waiters.append(on_done)
-                return
-            if self.extensions.defers_read(self, block, on_done, t0):
-                return
-            eid = self.slwb.alloc(SlwbKind.READ)
-            entry = _PendingRead(
-                block=block, slwb_id=eid, is_prefetch=False,
-                start=t0, demand_waiters=[on_done],
+        if self._exts:
+            self.extensions.on_demand_miss(self, block)
+        if self.slwb.has_room():
+            # common case: issue straight away, no waiter closure
+            self._issue_demand(block, on_done, t0)
+        else:
+            self._slwb_waiters.append(
+                lambda: self._issue_demand(block, on_done, t0)
             )
-            self._pending_reads[block] = entry
-            self.send_home(MsgType.RD_REQ, block)
-            self.extensions.on_miss_issued(self, block)
 
-        self.when_slwb_room(issue)
+    def _issue_demand(self, block: int, on_done: DoneFn, t0: int) -> None:
+        # the state may have moved while we waited for SLWB room
+        if self.slc.lookup(block) is not None:
+            self.sim.after(0, on_done)
+            return
+        pr = self._pending_reads.get(block)
+        if pr is not None:
+            pr.demand_waiters.append(on_done)
+            return
+        pw = self._pending_writes.get(block)
+        if pw is not None:
+            pw.read_waiters.append(on_done)
+            return
+        if self._exts and self.extensions.defers_read(self, block, on_done, t0):
+            return
+        eid = self.slwb.alloc(SlwbKind.READ)
+        entry = _PendingRead(
+            block=block, slwb_id=eid, is_prefetch=False,
+            start=t0, demand_waiters=[on_done],
+        )
+        self._pending_reads[block] = entry
+        self.send_home(MsgType.RD_REQ, block)
+        if self._exts:
+            self.extensions.on_miss_issued(self, block)
 
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
 
-    def _pump_drain(self) -> None:
-        if self._draining or self.flwb.empty:
+    def _pump_drain(self, t: int) -> None:
+        if self._draining or not self._flwb_fifo:
             return
         self._draining = True
-        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
-        self.sim.at(t1, self._drain_head)
+        occ = self._slc_access
+        res = self._slc_res
+        free = res._free_at
+        t1 = (t if t > free else free) + occ
+        res._free_at = t1
+        res.busy_cycles += occ
+        res.reservations += 1
+        sim = self.sim
+        heappush(sim._heap, (t1, sim._seq, self._drain_head, ()))
+        sim._seq += 1
 
     def _drain_head(self) -> None:
+        sim = self.sim
+        heap = sim._heap
+        flwb = self.flwb
+        fifo = self._flwb_fifo
+        occ = self._slc_access
+        res = self._slc_res
+        while True:
+            if not fifo:
+                self._draining = False
+                return
+            head = fifo[0]
+            if head.marker is not None:
+                flwb.pop()
+                self._arm_marker(head.marker)
+            elif self._apply_write(head.addr):
+                flwb.pop()
+                self._notify_flwb_space()
+            else:
+                # SLWB full: retry when an entry retires.  The waiter
+                # runs synchronously from ``release_slwb`` -- mid-event
+                # -- so it must take the non-advancing resume path.
+                self.when_slwb_room(self._drain_resume)
+                return
+            # continue the drain; scheduling the next step is this
+            # event's last action, so when no other event can fire
+            # before the SLC pipeline frees up, run the step now with
+            # the clock advanced (credited, keeping ``events_fired``
+            # identical to the one-event-per-step schedule)
+            if not fifo:
+                self._draining = False
+                return
+            now = sim.now
+            free = res._free_at
+            t1 = (now if now > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            if (heap and heap[0][0] <= t1) or t1 > sim._until:
+                heappush(heap, (t1, sim._seq, self._drain_head, ()))
+                sim._seq += 1
+                return
+            sim.now = t1
+            sim._events_fired += 1
+
+    def _drain_resume(self) -> None:
+        """One drain step taken synchronously (SLWB-room waiter).
+
+        Runs in the middle of whichever event retired the SLWB entry,
+        so unlike ``_drain_head`` it never advances the clock: the next
+        step is always a real scheduled event.
+        """
         if self.flwb.empty:
             self._draining = False
             return
@@ -354,15 +549,16 @@ class CacheController:
             self._notify_flwb_space()
             self._continue_drain()
         else:
-            # SLWB full: retry when an entry retires
-            self.when_slwb_room(self._drain_head)
+            self.when_slwb_room(self._drain_resume)
 
     def _continue_drain(self) -> None:
         if self.flwb.empty:
             self._draining = False
             return
-        t1 = self._slc_res.finish_time(self.sim.now, self._timing.slc_access)
-        self.sim.at(t1, self._drain_head)
+        sim = self.sim
+        t1 = self._slc_res.finish_time(sim.now, self._slc_access)
+        heappush(sim._heap, (t1, sim._seq, self._drain_head, ()))
+        sim._seq += 1
 
     def _notify_flwb_space(self) -> None:
         while self._flwb_space_waiters and not self.flwb.full:
@@ -370,8 +566,9 @@ class CacheController:
 
     def _apply_write(self, addr: int) -> bool:
         """Perform one write at the SLC; False = wait for SLWB room."""
-        block = self._amap.block_of(addr)
-        word = self._amap.word_of(addr)
+        bs = self._bsize
+        block = addr // bs
+        word = (addr % bs) // WORD_SIZE
         line = self.slc.lookup(block)
         if line is not None and line.state is CacheState.DIRTY:
             line.modified_since_update = True
@@ -380,9 +577,10 @@ class CacheController:
             line.state = CacheState.DIRTY
             line.modified_since_update = True
             return True
-        handled = self.extensions.on_write(self, block, word, line)
-        if handled is not None:
-            return handled
+        if self._exts:
+            handled = self.extensions.on_write(self, block, word, line)
+            if handled is not None:
+                return handled
         # base write-invalidate ownership path
         if block in self._pending_writes:
             return True  # covered by the in-flight ownership request
@@ -452,7 +650,8 @@ class CacheController:
         for pw in self._pending_writes.values():
             self.hold_marker(pw.slwb_id, marker)
             marker.outstanding += 1
-        self.extensions.on_release(self, marker)
+        if self._exts:
+            self.extensions.on_release(self, marker)
         if marker.outstanding == 0:
             self._fire_marker(marker)
 
@@ -483,19 +682,22 @@ class CacheController:
         page = self._amap.page_of(self._amap.block_base(block))
         return self._placement.home_of_page(page, toucher=self.node_id)
 
-    def send_home(self, mtype: MsgType, block: int, **kw) -> None:
-        """Send a request for ``block`` to its home node, now."""
-        dst = self._home_of(block)
+    def send_home(
+        self, mtype: MsgType, block: int, t: int | None = None, **kw
+    ) -> None:
+        """Send a request for ``block`` to its home node at ``t`` (now)."""
+        dst = self._home_cache.get(block)
+        if dst is None:
+            dst = self._home_of(block)
+            self._home_cache[block] = dst
         self._send(
-            Message(mtype, src=self.node_id, dst=dst, block=block, **kw),
-            self.sim.now,
+            Message(mtype, self.node_id, dst, block, **kw),
+            self.sim.now if t is None else t,
         )
 
     def reply(self, mtype: MsgType, dst: int, block: int, t: int, **kw) -> None:
         """Send a reply/ack message to ``dst`` at time ``t``."""
-        self._send(
-            Message(mtype, src=self.node_id, dst=dst, block=block, **kw), t
-        )
+        self._send(Message(mtype, self.node_id, dst, block, **kw), t)
 
     def _send_barrier_arrive(self, bar_id: int, expected: int) -> None:
         dst = bar_id % self.cfg.n_procs
@@ -514,7 +716,8 @@ class CacheController:
     def _fill(self, block: int, state: CacheState) -> CacheLine:
         line, victim = self.slc.insert(block, state)
         self.classifier.on_fill(block)
-        self.extensions.on_fill(self, line)
+        if self._exts:
+            self.extensions.on_fill(self, line)
         if victim is not None:
             self._evict(victim)
         return line
@@ -522,7 +725,8 @@ class CacheController:
     def _evict(self, victim: CacheLine) -> None:
         self.classifier.on_eviction(victim.block)
         self.flc.invalidate(victim.block)  # inclusion
-        self.extensions.on_evict(self, victim)
+        if self._exts:
+            self.extensions.on_evict(self, victim)
         if victim.state in (CacheState.DIRTY, CacheState.MIG_CLEAN):
             self.stats.writebacks += 1
             self._victims[victim.block] = victim.state is CacheState.DIRTY
@@ -569,13 +773,16 @@ class CacheController:
             line = self._fill(block, state)
             line.prefetched = pr.is_prefetch and not demand
         if pr.demand_waiters:
-            done = t1 + self._timing.flc_fill
+            done = t1 + self._flc_fill
             if not pr.invalidated:
                 self.flc.fill(block)
             self.stats.read_miss_latency_total += done - pr.start
             self.stats.read_miss_latency_count += 1
+            sim = self.sim
+            heap = sim._heap
             for cb in pr.demand_waiters:
-                self.sim.at(done, cb)
+                heappush(heap, (done, sim._seq, cb, ()))
+                sim._seq += 1
         self.release_slwb(pr.slwb_id)
         for deferred in pr.deferred:
             self.sim.at(t1, self.deliver, deferred, t1)
@@ -606,7 +813,7 @@ class CacheController:
     def _on_inv(self, msg: Message, t: int) -> None:
         block = msg.block
         self.stats.invalidations_received += 1
-        words = self.extensions.on_invalidate(self, block)
+        words = self.extensions.on_invalidate(self, block) if self._exts else 0
         line = self.slc.invalidate(block)
         if line is not None:
             self.classifier.on_coherence_loss(block)
@@ -705,10 +912,15 @@ class CacheController:
 
     def release_slwb(self, eid: int) -> None:
         """Retire SLWB entry ``eid``: markers progress, waiters run."""
-        self.slwb.release(eid)
-        self._marker_progress(eid)
-        while self._slwb_waiters and self.slwb.has_room():
-            self._slwb_waiters.popleft()()
+        entries = self.slwb._entries
+        del entries[eid]
+        if self._eid_markers:
+            self._marker_progress(eid)
+        waiters = self._slwb_waiters
+        if waiters:
+            capacity = self.slwb.capacity
+            while waiters and len(entries) < capacity:
+                waiters.popleft()()
 
     # ------------------------------------------------------------------
     # introspection (tests, invariants)

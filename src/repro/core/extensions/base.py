@@ -227,6 +227,35 @@ class ProtocolExtension:
         return {}
 
 
+#: hooks specialized per pipeline: dispatch walks only the extensions
+#: that actually override the hook.  Defaults are pure no-ops (and
+#: decision hooks return their first-non-default-wins identity), so
+#: skipping non-overriders is behaviour-preserving while making the
+#: common "no extension cares" case a walk over an empty tuple.
+_SPECIALIZED_HOOKS = (
+    "on_read_hit",
+    "absorbs_read",
+    "defers_read",
+    "on_read_merged",
+    "on_demand_miss",
+    "on_miss_issued",
+    "on_write",
+    "on_fill",
+    "on_evict",
+    "on_invalidate",
+    "on_release",
+    "on_home_reply",
+    "cache_outstanding",
+    "on_home_request",
+    "grants_exclusive_read",
+    "on_ownership_requested",
+    "on_ownership_granted",
+    "on_exclusive_read_transfer",
+    "on_home_ack",
+    "absorb_ack_payload",
+)
+
+
 class ExtensionPipeline:
     """Dispatches lifecycle hooks to extensions in deterministic order.
 
@@ -236,7 +265,9 @@ class ExtensionPipeline:
     dispatch is deterministic and identical on every node.
     """
 
-    __slots__ = ("extensions", "_by_name")
+    __slots__ = ("extensions", "_by_name") + tuple(
+        "_" + hook for hook in _SPECIALIZED_HOOKS
+    )
 
     def __init__(self, extensions: Sequence[ProtocolExtension] = ()) -> None:
         self.extensions: tuple[ProtocolExtension, ...] = tuple(extensions)
@@ -245,6 +276,17 @@ class ExtensionPipeline:
             raise ValueError(
                 "duplicate extension names in pipeline: "
                 f"{[e.name for e in self.extensions]}"
+            )
+        for hook in _SPECIALIZED_HOOKS:
+            default = getattr(ProtocolExtension, hook)
+            setattr(
+                self,
+                "_" + hook,
+                tuple(
+                    ext
+                    for ext in self.extensions
+                    if getattr(type(ext), hook, default) is not default
+                ),
             )
 
     def __iter__(self) -> Iterator[ProtocolExtension]:
@@ -273,66 +315,66 @@ class ExtensionPipeline:
     # -- cache-side dispatch --------------------------------------------
 
     def on_read_hit(self, ctrl, line) -> None:
-        for ext in self.extensions:
+        for ext in self._on_read_hit:
             ext.on_read_hit(ctrl, line)
 
     def absorbs_read(self, ctrl, block) -> bool:
-        for ext in self.extensions:
+        for ext in self._absorbs_read:
             if ext.absorbs_read(ctrl, block):
                 return True
         return False
 
     def defers_read(self, ctrl, block, on_done, t0) -> bool:
-        for ext in self.extensions:
+        for ext in self._defers_read:
             if ext.defers_read(ctrl, block, on_done, t0):
                 return True
         return False
 
     def on_read_merged(self, ctrl, pending) -> None:
-        for ext in self.extensions:
+        for ext in self._on_read_merged:
             ext.on_read_merged(ctrl, pending)
 
     def on_demand_miss(self, ctrl, block) -> None:
-        for ext in self.extensions:
+        for ext in self._on_demand_miss:
             ext.on_demand_miss(ctrl, block)
 
     def on_miss_issued(self, ctrl, block) -> None:
-        for ext in self.extensions:
+        for ext in self._on_miss_issued:
             ext.on_miss_issued(ctrl, block)
 
     def on_write(self, ctrl, block, word, line) -> bool | None:
-        for ext in self.extensions:
+        for ext in self._on_write:
             handled = ext.on_write(ctrl, block, word, line)
             if handled is not None:
                 return handled
         return None
 
     def on_fill(self, ctrl, line) -> None:
-        for ext in self.extensions:
+        for ext in self._on_fill:
             ext.on_fill(ctrl, line)
 
     def on_evict(self, ctrl, victim) -> None:
-        for ext in self.extensions:
+        for ext in self._on_evict:
             ext.on_evict(ctrl, victim)
 
     def on_invalidate(self, ctrl, block) -> int:
         words = 0
-        for ext in self.extensions:
+        for ext in self._on_invalidate:
             words += ext.on_invalidate(ctrl, block)
         return words
 
     def on_release(self, ctrl, marker) -> None:
-        for ext in self.extensions:
+        for ext in self._on_release:
             ext.on_release(ctrl, marker)
 
     def on_home_reply(self, ctrl, msg, t) -> bool:
-        for ext in self.extensions:
+        for ext in self._on_home_reply:
             if ext.on_home_reply(ctrl, msg, t):
                 return True
         return False
 
     def cache_outstanding(self, ctrl) -> int:
-        return sum(ext.cache_outstanding(ctrl) for ext in self.extensions)
+        return sum(ext.cache_outstanding(ctrl) for ext in self._cache_outstanding)
 
     # -- home-side dispatch ---------------------------------------------
 
@@ -343,37 +385,37 @@ class ExtensionPipeline:
         return types
 
     def on_home_request(self, home, msg, entry, t) -> bool:
-        for ext in self.extensions:
+        for ext in self._on_home_request:
             if ext.on_home_request(home, msg, entry, t):
                 return True
         return False
 
     def grants_exclusive_read(self, home, entry, msg) -> bool:
-        for ext in self.extensions:
+        for ext in self._grants_exclusive_read:
             if ext.grants_exclusive_read(home, entry, msg):
                 return True
         return False
 
     def on_ownership_requested(self, home, entry, msg) -> None:
-        for ext in self.extensions:
+        for ext in self._on_ownership_requested:
             ext.on_ownership_requested(home, entry, msg)
 
     def on_ownership_granted(self, home, entry, req) -> None:
-        for ext in self.extensions:
+        for ext in self._on_ownership_granted:
             ext.on_ownership_granted(home, entry, req)
 
     def on_exclusive_read_transfer(self, home, entry, msg) -> None:
-        for ext in self.extensions:
+        for ext in self._on_exclusive_read_transfer:
             ext.on_exclusive_read_transfer(home, entry, msg)
 
     def on_home_ack(self, home, msg, xact, entry, t) -> bool:
-        for ext in self.extensions:
+        for ext in self._on_home_ack:
             if ext.on_home_ack(home, msg, xact, entry, t):
                 return True
         return False
 
     def absorb_ack_payload(self, home, msg, t) -> int:
-        for ext in self.extensions:
+        for ext in self._absorb_ack_payload:
             t = ext.absorb_ack_payload(home, msg, t)
         return t
 

@@ -75,7 +75,13 @@ class HomeController:
         self._memory = memory
         self._send = send
         self._n_nodes = n_nodes
+        # hot-path caches for ``mem_access`` (one reservation per
+        # directory operation): the module's bank ledgers and geometry
+        self._banks = memory._banks
+        self._n_banks = memory.n_banks
+        self._mem_occ = memory.access_pclocks
         self.directory = Directory()
+        self._dir_entries = self.directory._entries
         self.locks = LockTable()
         self.barriers = BarrierTable()
         #: the node's protocol-extension pipeline (shared with the
@@ -84,7 +90,14 @@ class HomeController:
             pipeline if pipeline is not None else build_pipeline(protocol)
         )
         self.extensions.attach_home(self)
+        #: hot-path alias: the pipeline's extension tuple.  An empty
+        #: pipeline (BASIC cells) makes every hook a no-op, and the
+        #: falsy-tuple test below is far cheaper than the dispatch loop.
+        self._exts = self.extensions.extensions
         self._ext_requests = self.extensions.home_request_types()
+        #: base + extension request kinds, merged so ``deliver`` pays a
+        #: single membership test per message.
+        self._request_types = frozenset(self._REQUESTS | self._ext_requests)
         self._xacts: dict[int, Xact] = {}
         self._pending: dict[int, deque[Message]] = {}
         self.memory_accesses = 0
@@ -98,14 +111,23 @@ class HomeController:
 
         The module is fully interleaved (§4): the bank serving
         ``block`` is occupied for the full access latency, but other
-        banks keep serving in parallel.
+        banks keep serving in parallel.  (InterleavedMemory.access,
+        inlined: every directory operation pays this.)
         """
         self.memory_accesses += 1
-        return self._memory.access(t, block)
+        occ = self._mem_occ
+        res = self._banks[block % self._n_banks]
+        free = res._free_at
+        start = t if t > free else free
+        end = start + occ
+        res._free_at = end
+        res.busy_cycles += occ
+        res.reservations += 1
+        return end
 
     def reply(self, mtype: MsgType, dst: int, block: int, t: int, **kw) -> None:
         """Send a protocol message to cache ``dst`` at time ``t``."""
-        self._send(Message(mtype, src=self.node_id, dst=dst, block=block, **kw), t)
+        self._send(Message(mtype, self.node_id, dst, block, **kw), t)
 
     def busy(self, block: int) -> bool:
         """True if the block is in a transient state."""
@@ -123,11 +145,8 @@ class HomeController:
 
     def deliver(self, msg: Message, t: int) -> None:
         """Handle a home-bound message arriving at time ``t``."""
-        if msg.mtype in self._REQUESTS or msg.mtype in self._ext_requests:
-            if self.busy(msg.block):
-                self._pending.setdefault(msg.block, deque()).append(msg)
-                return
-            self.process_request(msg, t)
+        if msg.mtype in self._request_types:
+            self._deliver_request(msg, t)
         elif msg.mtype is MsgType.LOCK_REQ:
             self._handle_lock_req(msg, t)
         elif msg.mtype is MsgType.LOCK_REL:
@@ -138,11 +157,37 @@ class HomeController:
             # anything else must be an ack completing a transaction
             self._handle_ack(msg, t)
 
+    def handler_for(self, mtype: MsgType) -> Callable[[Message, int], None]:
+        """The direct handler for a home-bound message type.
+
+        The transport resolves the handler once at send time, skipping
+        the per-delivery type dispatch of :meth:`deliver` (which stays
+        as the generic entry point for tests and replayed messages).
+        """
+        if mtype in self._request_types:
+            return self._deliver_request
+        if mtype is MsgType.LOCK_REQ:
+            return self._handle_lock_req
+        if mtype is MsgType.LOCK_REL:
+            return self._handle_lock_rel
+        if mtype is MsgType.BAR_ARRIVE:
+            return self._handle_barrier
+        return self._handle_ack
+
+    def _deliver_request(self, msg: Message, t: int) -> None:
+        if msg.block in self._xacts:
+            self._pending.setdefault(msg.block, deque()).append(msg)
+            return
+        self.process_request(msg, t)
+
     # -- stable-state request processing ---------------------------------
 
     def process_request(self, msg: Message, t: int) -> None:
         """Process a request against a stable (non-busy) block."""
-        entry = self.directory.entry(msg.block)
+        entry = self._dir_entries.get(msg.block)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._dir_entries[msg.block] = entry
         if msg.mtype is MsgType.RD_REQ:
             self._handle_read(msg, entry, t)
         elif msg.mtype in (MsgType.RDX_REQ, MsgType.OWN_REQ):
@@ -151,7 +196,9 @@ class HomeController:
             self._handle_writeback(msg, entry, t)
         elif msg.mtype is MsgType.REPL:
             entry.sharers.discard(msg.src)
-        elif not self.extensions.on_home_request(self, msg, entry, t):
+        elif not (
+            self._exts and self.extensions.on_home_request(self, msg, entry, t)
+        ):
             raise SimulationError(
                 f"home {self.node_id}: unhandled request {msg.mtype}"
             )
@@ -160,7 +207,9 @@ class HomeController:
         req = msg.src
         if entry.state is MemoryState.CLEAN:
             t2 = self.mem_access(t, msg.block)
-            if self.extensions.grants_exclusive_read(self, entry, msg):
+            if self._exts and self.extensions.grants_exclusive_read(
+                self, entry, msg
+            ):
                 # exclusive grant straight from memory (§3.2)
                 entry.state = MemoryState.MODIFIED
                 entry.owner = req
@@ -185,7 +234,9 @@ class HomeController:
                 f"node {req} read-missed block {msg.block} it owns"
             )
         t2 = self.mem_access(t, msg.block)
-        if self.extensions.grants_exclusive_read(self, entry, msg):
+        if self._exts and self.extensions.grants_exclusive_read(
+            self, entry, msg
+        ):
             self.open_xact(
                 msg.block, Xact(kind="fetchinv_read", orig=msg, old_owner=owner)
             )
@@ -219,7 +270,8 @@ class HomeController:
             return
         # CLEAN
         others = entry.sharers - {req}
-        self.extensions.on_ownership_requested(self, entry, msg)
+        if self._exts:
+            self.extensions.on_ownership_requested(self, entry, msg)
         needs_data = msg.mtype is MsgType.RDX_REQ or req not in entry.sharers
         t2 = self.mem_access(t, msg.block)
         if others:
@@ -242,7 +294,8 @@ class HomeController:
         entry.owner = req
         entry.sharers.clear()
         entry.last_writer = req
-        self.extensions.on_ownership_granted(self, entry, req)
+        if self._exts:
+            self.extensions.on_ownership_granted(self, entry, req)
         if needs_data:
             self.reply(MsgType.RDX_RPL, req, block, t)
         else:
@@ -293,12 +346,13 @@ class HomeController:
             self._finish_fetch(msg, xact, entry, t)
             return
         if msg.mtype is MsgType.INV_ACK:
-            t = self.extensions.absorb_ack_payload(self, msg, t)
+            if self._exts:
+                t = self.extensions.absorb_ack_payload(self, msg, t)
             xact.acks_left -= 1
             if xact.acks_left == 0:
                 self._finish_invalidation(msg.block, xact, entry, t)
             return
-        if self.extensions.on_home_ack(self, msg, xact, entry, t):
+        if self._exts and self.extensions.on_home_ack(self, msg, xact, entry, t):
             return
         raise SimulationError(
             f"home {self.node_id}: unexpected {msg.mtype} for "
@@ -320,7 +374,8 @@ class HomeController:
                 entry.sharers.add(xact.old_owner)
         elif xact.kind == "fetchinv_read":
             entry.owner = req  # stays MODIFIED, exclusivity migrates
-            self.extensions.on_exclusive_read_transfer(self, entry, msg)
+            if self._exts:
+                self.extensions.on_exclusive_read_transfer(self, entry, msg)
         else:  # fetchinv_write
             entry.owner = req
             entry.last_writer = req

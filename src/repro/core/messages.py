@@ -13,11 +13,17 @@ contention (Table 3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum, auto
+from enum import IntEnum, auto
 
 
-class MsgType(Enum):
-    """All message kinds exchanged between caches and homes."""
+class MsgType(IntEnum):
+    """All message kinds exchanged between caches and homes.
+
+    An :class:`~enum.IntEnum` rather than a plain ``Enum`` so that the
+    hot-path dict dispatch and frozenset membership tests
+    (``HOME_BOUND``, the controllers' handler tables) hash at C speed
+    instead of through ``Enum.__hash__``.
+    """
 
     # requester -> home
     RD_REQ = auto()        # read miss (``prefetch`` flag for P requests)
@@ -83,10 +89,36 @@ _BLOCK_CARRIERS = frozenset(
     {MsgType.RD_RPL, MsgType.RDX_RPL, MsgType.WB}
 )
 
+#: per-type message size, indexed by ``int(mtype)``; -1 marks the
+#: kinds whose size depends on the payload (dirty-word count, carried
+#: writeback) and must go through the ``size_bytes`` property.  The
+#: transport hot path reads this table directly.
+_VARIABLE_SIZE = frozenset(
+    {MsgType.WC_FLUSH, MsgType.UPD_PROP, MsgType.XFER_ACK, MsgType.INV_ACK}
+)
+SIZE_BY_TYPE: list[int] = [HEADER_BYTES] * (max(MsgType) + 1)
+#: per-type message name, indexed by ``int(mtype)`` (the network
+#: accounting keys); avoids the enum ``_name_`` descriptor on the
+#: transport hot path.
+MSG_NAMES: list[str] = [""] * (max(MsgType) + 1)
+for _mt in MsgType:
+    MSG_NAMES[_mt] = _mt._name_
+    if _mt in _VARIABLE_SIZE:
+        SIZE_BY_TYPE[_mt] = -1
+    elif _mt in _BLOCK_CARRIERS:
+        SIZE_BY_TYPE[_mt] = HEADER_BYTES + BLOCK_BYTES
+del _mt
 
-@dataclass
+
+@dataclass(slots=True)
 class Message:
-    """One protocol message in flight."""
+    """One protocol message in flight.
+
+    ``size_bytes`` involves a couple of set-membership tests; the
+    transport layer (``System._send``) evaluates it once per message
+    and threads the value through, so keep new hot paths doing the
+    same.
+    """
 
     mtype: MsgType
     src: int
@@ -114,15 +146,15 @@ class Message:
     @property
     def size_bytes(self) -> int:
         """Bytes this message occupies on the network."""
-        if self.mtype in _BLOCK_CARRIERS:
-            return HEADER_BYTES + BLOCK_BYTES
-        if self.mtype in (MsgType.WC_FLUSH, MsgType.UPD_PROP):
-            return HEADER_BYTES + WORD_BYTES * self.words
-        if self.mtype is MsgType.XFER_ACK and self.was_modified:
-            return HEADER_BYTES + BLOCK_BYTES
-        if self.mtype is MsgType.INV_ACK and self.words:
-            return HEADER_BYTES + WORD_BYTES * self.words
-        return HEADER_BYTES
+        size = SIZE_BY_TYPE[self.mtype]
+        if size >= 0:
+            return size
+        if self.mtype is MsgType.XFER_ACK:
+            return (
+                HEADER_BYTES + BLOCK_BYTES if self.was_modified else HEADER_BYTES
+            )
+        # WC_FLUSH / UPD_PROP / INV_ACK: selective-word transmission
+        return HEADER_BYTES + WORD_BYTES * self.words
 
     @property
     def carries_data(self) -> bool:

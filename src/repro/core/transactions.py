@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.core.messages import Message
 
 
-@dataclass
+@dataclass(slots=True)
 class Xact:
     """One in-flight (transient-state) transaction on a block."""
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.core.states import CacheState
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One SLC line with the extension metadata of Table 1."""
 
@@ -62,8 +62,14 @@ class SecondLevelCache:
 
     def lookup(self, block: int) -> CacheLine | None:
         """The valid line holding ``block``, or None."""
-        line = self._lines.get(self._key(block))
-        if line is not None and line.block == block and line.state.is_valid:
+        line = self._lines.get(
+            block if self._infinite else block % self._n_sets
+        )
+        if (
+            line is not None
+            and line.block == block
+            and line.state is not CacheState.INVALID
+        ):
             return line
         return None
 
@@ -76,7 +82,7 @@ class SecondLevelCache:
         if victim is not None and (victim.block == block or not victim.state.is_valid):
             victim = None
         line = CacheLine(block=block, state=state)
-        self._lines[self._key(block)] = line
+        self._lines[key] = line
         return line, victim
 
     def invalidate(self, block: int) -> CacheLine | None:

@@ -29,7 +29,7 @@ class SlwbKind(Enum):
     SYNC = auto()       # acquire / release / barrier in flight
 
 
-@dataclass
+@dataclass(slots=True)
 class FlwbEntry:
     """One buffered write (or synchronization marker) in the FLWB.
 
@@ -65,7 +65,8 @@ class Flwb:
             if self.full:
                 raise OverflowError("FLWB overflow")
             self._writes += 1
-            self.peak_occupancy = max(self.peak_occupancy, self._writes)
+            if self._writes > self.peak_occupancy:
+                self.peak_occupancy = self._writes
         self._fifo.append(entry)
 
     def pop(self) -> FlwbEntry:
@@ -82,10 +83,10 @@ class Flwb:
     def contains_write_to(self, addr: int) -> bool:
         """True if a buffered write targets this exact address
         (store-to-load forwarding lookup)."""
-        return any(
-            entry.marker is None and entry.addr == addr
-            for entry in self._fifo
-        )
+        for entry in self._fifo:
+            if entry.marker is None and entry.addr == addr:
+                return True
+        return False
 
     @property
     def empty(self) -> bool:
@@ -119,13 +120,16 @@ class Slwb:
 
     def alloc(self, kind: SlwbKind) -> int:
         """Allocate an entry; returns its id.  Caller checks room first."""
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             self.full_rejections += 1
             raise OverflowError("SLWB overflow")
         eid = self._next_id
-        self._next_id += 1
-        self._entries[eid] = kind
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        self._next_id = eid + 1
+        entries[eid] = kind
+        occupancy = len(entries)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return eid
 
     def release(self, eid: int) -> SlwbKind:

@@ -15,6 +15,8 @@ from repro.stats.counters import NetworkStats
 class UniformNetwork:
     """Infinite-bandwidth interconnect with constant latency."""
 
+    __slots__ = ("_latency", "_n_nodes", "_stats")
+
     def __init__(self, cfg: NetworkConfig, n_nodes: int, stats: NetworkStats) -> None:
         self._latency = cfg.uniform_latency
         self._n_nodes = n_nodes

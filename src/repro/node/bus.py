@@ -11,13 +11,13 @@ the bus once, for its own size.
 
 from __future__ import annotations
 
-import math
-
 from repro.sim.resource import FcfsResource
 
 
 class SplitTransactionBus:
     """Width-aware FCFS bus: occupancy scales with the payload."""
+
+    __slots__ = ("name", "width_bytes", "cycle_pclocks", "_res")
 
     def __init__(
         self,
@@ -34,12 +34,25 @@ class SplitTransactionBus:
 
     def cycles_for(self, size_bytes: int) -> int:
         """Bus cycles one transaction of ``size_bytes`` occupies."""
-        return max(1, math.ceil(size_bytes / self.width_bytes))
+        return max(1, -(-size_bytes // self.width_bytes))
 
     def access(self, ready: int, size_bytes: int) -> int:
         """Reserve the bus for one transaction; returns completion time."""
-        occupancy = self.cycles_for(size_bytes) * self.cycle_pclocks
-        return self._res.finish_time(ready, occupancy)
+        cycles = -(-size_bytes // self.width_bytes)
+        if cycles < 1:
+            cycles = 1
+        occ = cycles * self.cycle_pclocks
+        # FcfsResource.finish_time, inlined: every message crossing a
+        # node pays this twice (out-bus + in-bus), making it the single
+        # hottest reservation site in the simulator.
+        res = self._res
+        free = res._free_at
+        start = ready if ready > free else free
+        end = start + occ
+        res._free_at = end
+        res.busy_cycles += occ
+        res.reservations += 1
+        return end
 
     @property
     def reservations(self) -> int:

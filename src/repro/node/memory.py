@@ -38,8 +38,17 @@ class InterleavedMemory:
 
     def access(self, ready: int, block: int) -> int:
         """Serve one access to ``block``; returns completion time."""
-        bank = self._banks[self.bank_of(block)]
-        return bank.finish_time(ready, self.access_pclocks)
+        occ = self.access_pclocks
+        # FcfsResource.finish_time, inlined (hot: one access per
+        # directory/memory operation at every home node).
+        res = self._banks[block % self.n_banks]
+        free = res._free_at
+        start = ready if ready > free else free
+        end = start + occ
+        res._free_at = end
+        res.busy_cycles += occ
+        res.reservations += 1
+        return end
 
     @property
     def accesses(self) -> int:

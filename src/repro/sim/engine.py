@@ -9,12 +9,25 @@ ties), which makes every simulation run fully deterministic.
 Time is measured in *pclocks* (processor clock cycles, 10 ns at the
 paper's 100 MHz clock).  Times are plain integers; fractional delays are
 rounded up by the caller where they arise (e.g. bus cycles).
+
+Fast-path contract (see docs/internals.md, "Performance notes"): the
+processor's tight issue loop consumes local hits without scheduling
+their completion events.  It relies on two intra-package invariants of
+this class: ``_heap`` is never rebound (holders of a reference always
+see the live queue), and ``_until`` always carries the active
+``run(until=...)`` horizon (:data:`NO_HORIZON` outside such a window).
+Elided events are re-counted through :meth:`credit_events` so
+``events_fired`` stays bit-identical to the fully event-driven model.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable
+
+#: value of ``Simulator._until`` when no bounded ``run(until=...)``
+#: window is active; larger than any reachable simulation time.
+NO_HORIZON = 1 << 62
 
 
 class SimulationError(RuntimeError):
@@ -33,11 +46,14 @@ class Simulator:
     ['b', 'a']
     """
 
+    __slots__ = ("now", "_heap", "_seq", "_events_fired", "_until")
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq: int = 0
         self._events_fired: int = 0
+        self._until: int = NO_HORIZON
 
     def at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute ``time`` (>= now)."""
@@ -56,13 +72,23 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far (including credited ones)."""
         return self._events_fired
 
     @property
     def pending_events(self) -> int:
         """Number of events still in the queue."""
         return len(self._heap)
+
+    def credit_events(self, n: int) -> None:
+        """Account ``n`` events whose scheduling was elided.
+
+        The processor fast path consumes op completions inline instead
+        of scheduling one heap event per boundary; crediting them here
+        keeps :attr:`events_fired` equal to the fully event-driven
+        count, which the golden parity tests pin exactly.
+        """
+        self._events_fired += n
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
@@ -82,13 +108,59 @@ class Simulator:
         the queue drains -- or was empty -- first); ``max_events``
         guards against runaway simulations.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            if max_events is not None and self._events_fired >= max_events:
-                raise SimulationError(
-                    f"event budget of {max_events} exhausted at t={self.now}"
-                )
-            self.step()
+        heap = self._heap
+        pop = heapq.heappop
+        horizon = until if until is not None else NO_HORIZON
+        self._until = horizon
+        # The dispatch loops accumulate fired events in a local and
+        # flush it on exit: nothing reads the counter mid-run (inline
+        # fast paths only *add* their elision credits to it).
+        fired = 0
+        try:
+            if max_events is None and until is None:
+                while heap:
+                    time, _seq, fn, args = pop(heap)
+                    self.now = time
+                    fired += 1
+                    fn(*args)
+            elif until is None:
+                # budget-only runs check the (credit-aware) budget at
+                # chunk boundaries instead of before every event; the
+                # chunk never exceeds the remaining budget, so the
+                # guard still trips as soon as it is exhausted.
+                while heap:
+                    self._events_fired += fired
+                    fired = 0
+                    budget = max_events - self._events_fired
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"event budget of {max_events} exhausted "
+                            f"at t={self.now}"
+                        )
+                    n = 1024 if budget > 1024 else budget
+                    while heap and n:
+                        time, _seq, fn, args = pop(heap)
+                        self.now = time
+                        fired += 1
+                        fn(*args)
+                        n -= 1
+            else:
+                while heap:
+                    if heap[0][0] > horizon:
+                        break
+                    if max_events is not None and (
+                        self._events_fired + fired >= max_events
+                    ):
+                        raise SimulationError(
+                            f"event budget of {max_events} exhausted "
+                            f"at t={self.now}"
+                        )
+                    time, _seq, fn, args = pop(heap)
+                    self.now = time
+                    fired += 1
+                    fn(*args)
+        finally:
+            self._events_fired += fired
+            self._until = NO_HORIZON
         if until is not None and until > self.now:
             self.now = until

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class FcfsResource:
     """A single-server FCFS resource with next-free-time reservation."""
 
@@ -30,7 +30,8 @@ class FcfsResource:
         """
         if occupancy < 0:
             raise ValueError(f"negative occupancy {occupancy}")
-        start = max(ready, self._free_at)
+        free = self._free_at
+        start = ready if ready > free else free
         self._free_at = start + occupancy
         self.busy_cycles += occupancy
         self.reservations += 1
@@ -38,7 +39,15 @@ class FcfsResource:
 
     def finish_time(self, ready: int, occupancy: int) -> int:
         """Reserve and return the completion time (start + occupancy)."""
-        return self.reserve(ready, occupancy) + occupancy
+        if occupancy < 0:
+            raise ValueError(f"negative occupancy {occupancy}")
+        free = self._free_at
+        start = ready if ready > free else free
+        end = start + occupancy
+        self._free_at = end
+        self.busy_cycles += occupancy
+        self.reservations += 1
+        return end
 
     @property
     def free_at(self) -> int:

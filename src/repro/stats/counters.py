@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 STATS_SCHEMA_VERSION = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessorStats:
     """Per-processor time decomposition and reference counts."""
 
@@ -49,7 +49,7 @@ class ProcessorStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-node cache and protocol event counters."""
 
@@ -80,7 +80,7 @@ class CacheStats:
         return self.read_miss_latency_total / self.read_miss_latency_count
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Global interconnect traffic counters."""
 
@@ -103,7 +103,7 @@ class NetworkStats:
         self.by_type[mtype_name] = self.by_type.get(mtype_name, 0) + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
     """All statistics for one simulation run."""
 

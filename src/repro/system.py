@@ -7,13 +7,22 @@ reference streams to completion and returns the collected statistics.
 
 from __future__ import annotations
 
+import gc
+from heapq import heappush
 from typing import Iterable
 
 from repro.config import SystemConfig
-from repro.core.messages import HOME_BOUND, Message
+from repro.core.messages import (
+    HEADER_BYTES,
+    HOME_BOUND,
+    MSG_NAMES,
+    SIZE_BY_TYPE,
+    Message,
+)
 from repro.mem.addrmap import AddressMap
 from repro.mem.placement import make_placement
 from repro.network import build_network
+from repro.network.uniform import UniformNetwork
 from repro.node.node import Node
 from repro.node.processor import Op, Processor
 from repro.sim.engine import SimulationError, Simulator
@@ -43,29 +52,130 @@ class System:
         ]
         self.processors: list[Processor] = []
         self._finished = 0
+        #: constant node-to-node latency when the interconnect is the
+        #: contention-free uniform network (the paper's default); None
+        #: for topologies whose arrival time depends on placement/load.
+        self._flat_latency = (
+            self.network._latency
+            if isinstance(self.network, UniformNetwork)
+            else None
+        )
+        # transport hot-path caches: bus geometry is uniform across
+        # nodes (cfg.timing), so the per-message reservations reduce to
+        # arithmetic on each node's FCFS ledger, and the delivery
+        # handler (home vs cache side) is resolved once at send time.
+        self._bus_res = [n.bus._res for n in self.nodes]
+        self._bus_width = cfg.timing.bus_width_bytes
+        self._bus_cycle = cfg.timing.bus_transaction
+        # one handler table per node, indexed by message type: every
+        # type is either home- or cache-bound, so the transport indexes
+        # straight to the final handler with no membership test or
+        # ``deliver`` frame per message.  Cache-bound kinds the handler
+        # table does not know (extension-owned) fall back to the
+        # dispatching ``CacheController.deliver``.
+        n_types = len(SIZE_BY_TYPE)
+        self._deliver_fns = []
+        for n in self.nodes:
+            cache = n.cache
+            by_type = [cache.deliver] * n_types
+            for mt, handler in cache._handlers.items():
+                by_type[mt] = handler
+            for mt in HOME_BOUND:
+                by_type[mt] = n.home.handler_for(mt)
+            self._deliver_fns.append(by_type)
 
     # ------------------------------------------------------------------
     # message transport
     # ------------------------------------------------------------------
 
     def _send(self, msg: Message, ready: int) -> None:
-        """Route a message: source bus -> network -> destination bus."""
-        t_out = self.nodes[msg.src].bus.access(ready, msg.size_bytes)
-        self.network.record(
-            msg.mtype.name, msg.src, msg.dst, msg.size_bytes, msg.carries_data
-        )
-        arrive = self.network.arrival_time(msg.src, msg.dst, msg.size_bytes, t_out)
-        if msg.src == msg.dst:
-            # local: a single traversal of the shared node bus
-            self.sim.at(arrive, self._dispatch, msg, arrive)
-        else:
-            self.sim.at(arrive, self._deliver_remote, msg)
+        """Route a message: source bus -> network -> destination bus.
 
-    def _deliver_remote(self, msg: Message) -> None:
-        t_in = self.nodes[msg.dst].bus.access(self.sim.now, msg.size_bytes)
-        self.sim.at(t_in, self._dispatch, msg, t_in)
+        The hottest code in the simulator: the message size comes from
+        a per-type table (variable-size kinds fall back to the
+        property) and is threaded through the chain, the source-bus
+        reservation and the uniform network's accounting/arrival
+        arithmetic are inlined (the generic path stays for other
+        topologies), the delivery handler is resolved here once, and
+        the delivery event is pushed straight onto the heap.
+        """
+        src, dst, mtype = msg.src, msg.dst, msg.mtype
+        size = SIZE_BY_TYPE[mtype]
+        if size < 0:
+            size = msg.size_bytes
+        # source-bus reservation (SplitTransactionBus.access, inlined)
+        cycles = -(-size // self._bus_width)
+        if cycles < 1:
+            cycles = 1
+        occ = cycles * self._bus_cycle
+        res = self._bus_res[src]
+        free = res._free_at
+        start = ready if ready > free else free
+        t_out = start + occ
+        res._free_at = t_out
+        res.busy_cycles += occ
+        res.reservations += 1
+        lat = self._flat_latency
+        if lat is None:
+            self.network.record(
+                MSG_NAMES[mtype], src, dst, size, size > HEADER_BYTES
+            )
+            arrive = self.network.arrival_time(src, dst, size, t_out)
+        elif src != dst:
+            ns = self.stats.network
+            ns.messages += 1
+            ns.bytes += size
+            if size > HEADER_BYTES:
+                ns.data_messages += 1
+            by_type = ns.by_type
+            name = MSG_NAMES[mtype]
+            by_type[name] = by_type.get(name, 0) + 1
+            arrive = t_out + lat
+        else:
+            arrive = t_out
+        fn = self._deliver_fns[dst][mtype]
+        sim = self.sim
+        if src == dst:
+            # local: a single traversal of the shared node bus
+            heappush(sim._heap, (arrive, sim._seq, fn, (msg, arrive)))
+        else:
+            # both buses are the same width, so the destination-bus
+            # occupancy equals the one just computed for the source
+            heappush(
+                sim._heap,
+                (arrive, sim._seq, self._deliver_remote, (msg, occ, fn)),
+            )
+        sim._seq += 1
+
+    def _deliver_remote(self, msg: Message, occ: int, fn) -> None:
+        sim = self.sim
+        # destination-bus reservation (SplitTransactionBus.access, inlined)
+        res = self._bus_res[msg.dst]
+        free = res._free_at
+        now = sim.now
+        start = now if now > free else free
+        t_in = start + occ
+        res._free_at = t_in
+        res.busy_cycles += occ
+        res.reservations += 1
+        heap = sim._heap
+        if (not heap or heap[0][0] > t_in) and t_in <= sim._until:
+            # No event can fire before the destination bus hands the
+            # message over, and scheduling the dispatch was this
+            # event's last action -- so run it now with the clock
+            # advanced.  Crediting keeps ``events_fired`` identical to
+            # the fully event-driven schedule.
+            sim.now = t_in
+            sim._events_fired += 1
+            fn(msg, t_in)
+        else:
+            heappush(heap, (t_in, sim._seq, fn, (msg, t_in)))
+            sim._seq += 1
 
     def _dispatch(self, msg: Message, t: int) -> None:
+        """Deliver ``msg`` to the right controller (generic slow path,
+        kept for tests and external callers; the transport above
+        resolves the handler at send time)."""
         node = self.nodes[msg.dst]
         if msg.mtype in HOME_BOUND:
             node.home.deliver(msg, t)
@@ -103,7 +213,17 @@ class System:
         ]
         for proc in self.processors:
             proc.start()
-        self.sim.run(max_events=max_events)
+        # The event loop allocates only short-lived tuples and
+        # messages; pausing cyclic GC for the run avoids pointless
+        # whole-heap collections triggered by that churn.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.sim.run(max_events=max_events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if self._finished != self.cfg.n_procs:
             stuck = [p.node_id for p in self.processors if not p.finished]
             raise SimulationError(

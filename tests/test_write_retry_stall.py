@@ -1,0 +1,61 @@
+"""Write-stall accounting across FLWB-full wakeups.
+
+Regression guard for ``Processor._write_retry``: the stall interval
+must be measured from the moment the processor first stalled
+(``_stall_t0``), and charged exactly once -- however many wakeups it
+takes until the FLWB has room.  Re-reading the issue time on each
+wakeup (or re-charging per wakeup) double-counts the stall and breaks
+``busy + stalls == finish_time``.
+"""
+
+from conftest import pad_streams, run_streams, tiny_config
+
+from repro.node.processor import Processor
+from repro.system import System
+
+PAGE = 4096
+
+
+class TestMultipleWakeups:
+    def test_stall_charged_once_from_first_stall(self):
+        cfg = tiny_config(flwb_entries=1)
+        system = System(cfg)
+        sim = system.sim
+        cache = system.nodes[0].cache
+        stats = system.stats.procs[0]
+        proc = Processor(0, sim, cfg, cache, [], stats, lambda i: None)
+
+        cache.buffer_write_at(2 * PAGE, 0)  # capacity 1: FLWB now full
+        proc._stall_addr = 3 * PAGE
+        proc._stall_t0 = 100  # the stall began at t=100
+
+        sim.now = 150
+        proc._write_retry()  # woken while still full: charge nothing
+        assert stats.write_stall == 0
+
+        sim.now = 180
+        proc._write_retry()  # second fruitless wakeup: still nothing
+        assert stats.write_stall == 0
+
+        cache.flwb.pop()  # drain completes, buffer has room
+        sim.now = 300
+        proc._write_retry()
+        # one charge, spanning the whole stall -- not since a wakeup
+        assert stats.write_stall == 200
+
+        sim.now = 400
+        assert stats.write_stall == 200  # and never again
+
+
+class TestDecomposition:
+    def test_stalling_stream_decomposes_exactly(self):
+        # a burst of writes to distinct pages through a 1-entry FLWB
+        # backed by a 1-entry SLWB: every write after the first stalls
+        # the processor on a full buffer for a full ownership round
+        # trip, exercising the retry path repeatedly in one run
+        cfg = tiny_config(flwb_entries=1, slwb_entries=1)
+        ops = [("write", (i + 2) * PAGE) for i in range(6)]
+        system = run_streams(cfg, pad_streams([ops], 4))
+        p = system.stats.procs[0]
+        assert p.write_stall > 0
+        assert p.total_time == p.finish_time
