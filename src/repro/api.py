@@ -18,6 +18,17 @@ Everything here is a thin, typed wrapper over the sweep engine
 directly for anything the helpers do not expose.  Pass an explicit
 :class:`~repro.sweep.SweepEngine` to fan comparisons out across
 processes or to reuse cached results.
+
+Serialization goes through **one** path end to end: a cell is
+described by a :class:`~repro.sweep.RunSpec` (versioned wire form via
+``to_wire``/``to_json``), and a completed cell is digested by
+:class:`RunSummary` -- every summary, whatever produced it, is built
+by the same constructor from the same ``MachineStats``, and
+:meth:`RunSummary.to_dict` / :meth:`Ranking.to_dict` are the only
+JSON shapes.  The CLI tables, the experiment reports and the HTTP
+service (:mod:`repro.service`) all render from these dicts instead of
+keeping private formats, so a number shown anywhere is the same
+number stored in the cache and served over the wire.
 """
 
 from __future__ import annotations
@@ -49,8 +60,10 @@ class RunSummary:
     read_stall_fraction: float
     write_stall_fraction: float
     acquire_stall_fraction: float
+    release_stall_fraction: float
     cold_miss_rate: float
     coherence_miss_rate: float
+    replacement_miss_rate: float
     network_bytes: int
     stats: MachineStats
     #: the spec that produced this summary (None for summaries built
@@ -58,23 +71,42 @@ class RunSummary:
     spec: RunSpec | None = None
 
     @classmethod
-    def from_result(cls, result: RunResult) -> "RunSummary":
-        """The summary view of a sweep-engine result."""
-        stats = result.stats
+    def build(
+        cls,
+        app: str,
+        protocol: str,
+        consistency: str,
+        stats: MachineStats,
+        spec: RunSpec | None = None,
+    ) -> "RunSummary":
+        """The one construction path every summary goes through."""
         et = stats.execution_time or 1
         return cls(
-            app=result.app,
-            protocol=result.protocol,
-            consistency=result.consistency,
+            app=app,
+            protocol=protocol,
+            consistency=consistency,
             execution_time=stats.execution_time,
             busy_fraction=stats.mean_busy / et,
             read_stall_fraction=stats.mean_read_stall / et,
             write_stall_fraction=stats.mean_write_stall / et,
             acquire_stall_fraction=stats.mean_acquire_stall / et,
+            release_stall_fraction=stats.mean_release_stall / et,
             cold_miss_rate=stats.miss_rate("cold"),
             coherence_miss_rate=stats.miss_rate("coherence"),
+            replacement_miss_rate=stats.miss_rate("replacement"),
             network_bytes=stats.network.bytes,
             stats=stats,
+            spec=spec,
+        )
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        """The summary view of a sweep-engine result."""
+        return cls.build(
+            app=result.app,
+            protocol=result.protocol,
+            consistency=result.consistency,
+            stats=result.stats,
             spec=result.spec,
         )
 
@@ -82,21 +114,39 @@ class RunSummary:
     def from_stats(cls, app: str, cfg: SystemConfig,
                    stats: MachineStats) -> "RunSummary":
         """Build a summary from raw machine statistics."""
-        et = stats.execution_time or 1
-        return cls(
+        return cls.build(
             app=app,
             protocol=cfg.protocol.name,
             consistency=cfg.consistency.value,
-            execution_time=stats.execution_time,
-            busy_fraction=stats.mean_busy / et,
-            read_stall_fraction=stats.mean_read_stall / et,
-            write_stall_fraction=stats.mean_write_stall / et,
-            acquire_stall_fraction=stats.mean_acquire_stall / et,
-            cold_miss_rate=stats.miss_rate("cold"),
-            coherence_miss_rate=stats.miss_rate("coherence"),
-            network_bytes=stats.network.bytes,
             stats=stats,
         )
+
+    def to_dict(self, include_stats: bool = False) -> dict:
+        """JSON-able digest; the wire/report form of this summary.
+
+        The full (versioned) ``MachineStats`` payload is included only
+        on request -- it is an order of magnitude larger than the
+        digest and most consumers only want the ratios.
+        """
+        d = {
+            "app": self.app,
+            "protocol": self.protocol,
+            "consistency": self.consistency,
+            "execution_time": self.execution_time,
+            "busy_fraction": self.busy_fraction,
+            "read_stall_fraction": self.read_stall_fraction,
+            "write_stall_fraction": self.write_stall_fraction,
+            "acquire_stall_fraction": self.acquire_stall_fraction,
+            "release_stall_fraction": self.release_stall_fraction,
+            "cold_miss_rate": self.cold_miss_rate,
+            "coherence_miss_rate": self.coherence_miss_rate,
+            "replacement_miss_rate": self.replacement_miss_rate,
+            "network_bytes": self.network_bytes,
+            "spec": self.spec.to_wire() if self.spec is not None else None,
+        }
+        if include_stats:
+            d["stats"] = self.stats.to_dict()
+        return d
 
     def speedup_over(self, baseline: "RunSummary") -> float:
         """How many times faster this run is than ``baseline``.
@@ -174,6 +224,18 @@ class Ranking:
         """``{protocol: execution_time / baseline_time}`` for all rows."""
         base = self.baseline_summary().execution_time
         return {s.protocol: s.execution_time / base for s in self.summaries}
+
+    def to_dict(self, include_stats: bool = False) -> dict:
+        """JSON-able ranking: summaries (fastest first) + speedups."""
+        return {
+            "app": self.app,
+            "baseline": self.baseline,
+            "speedups": self.speedups(),
+            "summaries": [
+                s.to_dict(include_stats=include_stats)
+                for s in self.summaries
+            ],
+        }
 
     def __getitem__(self, protocol: str) -> RunSummary:
         for summary in self.summaries:

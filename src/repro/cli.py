@@ -11,7 +11,10 @@ Subcommands:
   file (or simulate from an existing trace file),
 * ``bench``       -- benchmark regression harness (events/sec over a
   fixed workload x protocol matrix, JSON artifacts),
-* ``experiments`` -- dispatch to the table/figure drivers.
+* ``experiments`` -- dispatch to the table/figure drivers,
+* ``serve``       -- run the sweep service (HTTP API over the engine),
+* ``submit``      -- send a sweep to a running service and print the
+  ranking when it completes.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.config import (
 )
 from repro.experiments.formats import render_table
 from repro.experiments.runner import add_sweep_args
+from repro.sweep import DEFAULT_SEED
 from repro.system import System
 from repro.workloads import ALL_APP_NAMES, build_workload
 
@@ -55,19 +59,20 @@ def _make_config(args) -> SystemConfig:
     ).with_protocol(_protocol_arg(args))
 
 
-def _summary_rows(stats):
-    et = stats.execution_time
+def _summary_rows(summary):
+    """Render rows from the one true digest (RunSummary.to_dict)."""
+    d = summary.to_dict()
     return [
-        ("execution time (pclocks)", et),
-        ("busy %", 100 * stats.mean_busy / et),
-        ("read stall %", 100 * stats.mean_read_stall / et),
-        ("write stall %", 100 * stats.mean_write_stall / et),
-        ("acquire stall %", 100 * stats.mean_acquire_stall / et),
-        ("release stall %", 100 * stats.mean_release_stall / et),
-        ("cold miss %", stats.miss_rate("cold")),
-        ("coherence miss %", stats.miss_rate("coherence")),
-        ("replacement miss %", stats.miss_rate("replacement")),
-        ("network bytes", stats.network.bytes),
+        ("execution time (pclocks)", d["execution_time"]),
+        ("busy %", 100 * d["busy_fraction"]),
+        ("read stall %", 100 * d["read_stall_fraction"]),
+        ("write stall %", 100 * d["write_stall_fraction"]),
+        ("acquire stall %", 100 * d["acquire_stall_fraction"]),
+        ("release stall %", 100 * d["release_stall_fraction"]),
+        ("cold miss %", d["cold_miss_rate"]),
+        ("coherence miss %", d["coherence_miss_rate"]),
+        ("replacement miss %", d["replacement_miss_rate"]),
+        ("network bytes", d["network_bytes"]),
     ]
 
 
@@ -91,8 +96,13 @@ def cmd_run(args) -> int:
         profiler.disable()
     else:
         stats = system.run(streams)
+    from repro.api import RunSummary
+
+    summary = RunSummary.from_stats(args.app, cfg, stats)
     title = f"{args.app} / {cfg.protocol.name} / {cfg.consistency.value}"
-    print(render_table(("metric", "value"), _summary_rows(stats), title=title))
+    print(render_table(
+        ("metric", "value"), _summary_rows(summary), title=title
+    ))
     if args.profile or args.profile_out:
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
         if args.profile_out:
@@ -213,6 +223,99 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the sweep service until interrupted."""
+    from repro.service import create_service
+    from repro.sweep import default_cache_dir
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    service = create_service(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        max_cache_entries=args.max_cache_entries,
+        jobs=args.jobs,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro sweep service on {service.url} "
+        f"(cache: {cache_dir or 'off'}, jobs: {args.jobs})",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Send one sweep to a running service; print the ranking."""
+    from repro.service import ServiceClient, ServiceError
+    from repro.sweep import RunSpec
+
+    network = None
+    if getattr(args, "mesh", None):
+        network = NetworkConfig(
+            kind=NetworkKind.MESH, link_width_bits=args.mesh
+        )
+    combos = args.extensions or args.protocols
+    specs = [
+        RunSpec.for_run(
+            args.app,
+            protocol=proto,
+            consistency=Consistency(args.consistency),
+            network=network,
+            n_procs=args.procs,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        for proto in combos
+    ]
+    client = ServiceClient(args.url)
+    try:
+        sweep_id = client.submit(specs)
+        print(f"submitted {len(specs)} cells as {sweep_id} to {args.url}",
+              file=sys.stderr, flush=True)
+        job = client.wait_for(sweep_id, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if job["state"] == "failed":
+        print(f"sweep failed: {job['error']}", file=sys.stderr)
+        return 1
+    summaries = [c["summary"] for c in job["results"]]
+    base = summaries[0]["execution_time"]
+    rows = [
+        (
+            s["protocol"],
+            s["execution_time"] / base,
+            s["cold_miss_rate"],
+            s["coherence_miss_rate"],
+            s["network_bytes"],
+        )
+        for s in summaries
+    ]
+    rows.sort(key=lambda r: r[1])
+    print(render_table(
+        ("protocol", "rel. time", "cold %", "coh %", "net bytes"),
+        rows,
+        title=f"{args.app} ({args.consistency}, scale {args.scale})",
+    ))
+    src = job["sources"]
+    print(
+        f"[service] cells={job['cells']} sim={src['sim']} "
+        f"cache={src['cache']} dedup={src['dedup']}",
+        file=sys.stderr, flush=True,
+    )
+    return 0
+
+
 def cmd_experiments(args) -> int:
     """Dispatch to a table/figure driver."""
     from repro.experiments import (
@@ -325,6 +428,57 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_tr, protocol=False)
     p_tr.add_argument("--out", required=True)
     p_tr.set_defaults(fn=cmd_trace)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the sweep service (HTTP API over the engine)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8484)
+    p_srv.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per sweep (1 = serial, the default)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )
+    p_srv.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a result cache (always simulate)",
+    )
+    p_srv.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU-evict the cache above this many bytes",
+    )
+    p_srv.add_argument(
+        "--max-cache-entries", type=int, default=None, metavar="N",
+        help="LRU-evict the cache above this many entries",
+    )
+    p_srv.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="send a sweep to a running service"
+    )
+    common(p_sub, multi=True)
+    p_sub.add_argument(
+        "--url", default="http://127.0.0.1:8484",
+        help="service base URL (default: %(default)s)",
+    )
+    p_sub.add_argument(
+        "--protocols", nargs="+", default=list(ALL_PROTOCOLS),
+        choices=ALL_PROTOCOLS,
+    )
+    p_sub.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_sub.add_argument(
+        "--timeout", type=float, default=3600.0,
+        help="seconds to wait for the sweep to finish",
+    )
+    p_sub.set_defaults(fn=cmd_submit)
 
     p_ex = sub.add_parser("experiments", help="run a table/figure driver")
     p_ex.add_argument(

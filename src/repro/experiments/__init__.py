@@ -24,7 +24,6 @@ from repro.experiments.runner import (
     limited_slc_cache,
     make_config,
     mesh_network,
-    run_once,
     small_buffer_cache,
 )
 
@@ -36,6 +35,5 @@ __all__ = [
     "limited_slc_cache",
     "make_config",
     "mesh_network",
-    "run_once",
     "small_buffer_cache",
 ]

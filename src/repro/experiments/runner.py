@@ -1,27 +1,27 @@
 """Shared experiment plumbing on top of the sweep engine.
 
-Historically every table/figure driver called :func:`run_once` in a
+Historically every table/figure driver called ``run_once`` in a
 hand-rolled nested loop.  The drivers now build
 :class:`~repro.sweep.RunSpec` batches and push them through one
 :class:`~repro.sweep.SweepEngine`, which parallelizes across worker
 processes (``--jobs``) and memoizes completed cells on disk
 (``--cache-dir`` / ``--no-cache``).  This module keeps:
 
-* :func:`run_once` -- **deprecated** single-cell shim over the engine,
-  kept so existing callers keep working,
 * the paper-default config helpers (:func:`make_config`,
   :func:`mesh_network`, :func:`small_buffer_cache`,
   :func:`limited_slc_cache`),
 * the argparse plumbing every driver CLI shares
   (:func:`add_sweep_args`, :func:`engine_from_args`,
   :func:`print_sweep_summary`).
+
+``run_once`` finished its deprecation cycle and is gone; calling it
+raises with a migration recipe (see ``docs/sweeps.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from typing import Any, Iterable
 
 from repro.config import (
@@ -52,7 +52,6 @@ __all__ = [
     "make_config",
     "mesh_network",
     "print_sweep_summary",
-    "run_once",
     "small_buffer_cache",
 ]
 
@@ -74,41 +73,25 @@ def make_config(
     return cfg.with_protocol(protocol)
 
 
-def run_once(
-    app: str,
-    protocol: str = "BASIC",
-    consistency: Consistency = Consistency.RC,
-    network: NetworkConfig | None = None,
-    cache: CacheConfig | None = None,
-    scale: float = 1.0,
-    seed: int = DEFAULT_SEED,
-    **workload_kw: Any,
-) -> RunResult:
-    """Simulate one (application, machine) pair to completion.
+def run_once(*args: Any, **kwargs: Any) -> RunResult:
+    """Removed.  Raises with the migration recipe.
 
-    .. deprecated::
-        Build a :class:`~repro.sweep.RunSpec` and run it through a
-        :class:`~repro.sweep.SweepEngine` (or
-        :func:`repro.sweep.run_spec`) instead; batched specs gain
-        parallel execution and result caching for free.
+    The deprecation shim (PR 1) warned for several releases; the
+    single-cell path now goes through the spec/engine API exclusively::
+
+        from repro.sweep import RunSpec, run_spec
+        res = run_spec(RunSpec.for_run("water", protocol="P", scale=0.5))
+
+    ``RunSpec.for_run`` mirrors the old ``run_once`` signature, and
+    ``RunResult.app/.protocol/.consistency/.execution_time`` mirror the
+    old attribute surface.
     """
-    warnings.warn(
-        "run_once is deprecated; build a repro.sweep.RunSpec and use "
-        "repro.sweep.run_spec / SweepEngine.run instead",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "run_once was removed; build a repro.sweep.RunSpec "
+        "(RunSpec.for_run mirrors the old signature) and execute it with "
+        "repro.sweep.run_spec or SweepEngine.run -- see docs/sweeps.md, "
+        "'Migrating from run_once'"
     )
-    spec = RunSpec.for_run(
-        app,
-        protocol=protocol,
-        consistency=consistency,
-        network=network,
-        cache=cache,
-        scale=scale,
-        seed=seed,
-        **workload_kw,
-    )
-    return SweepEngine().run_one(spec)
 
 
 def execute(

@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: an HTTP front door on the sweep engine.
+
+The paper's artifacts are sweeps -- hundred-cell protocol × app ×
+consistency matrices -- and :class:`~repro.sweep.SweepEngine` already
+executes them with content-hashed memoization and process fan-out.
+This package puts a network boundary in front of that engine so many
+clients can share one engine, one result cache and one in-flight
+execution table:
+
+* :mod:`repro.service.schema`  -- the versioned JSON wire protocol,
+* :mod:`repro.service.jobs`    -- asynchronous sweep jobs over a
+  shared engine (submit, track, stream per-cell progress),
+* :mod:`repro.service.server`  -- the stdlib ``ThreadingHTTPServer``
+  and request routing (``/v1/...`` endpoints),
+* :mod:`repro.service.client`  -- a thin ``urllib`` client used by
+  ``repro submit``, the CI smoke job and the tests.
+
+Start a server with ``repro serve`` (or :func:`create_service` from
+code), submit with ``repro submit`` or ``POST /v1/sweeps``.  See
+``docs/service.md`` for endpoints, wire schema and curl examples.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager, SweepJob
+from repro.service.schema import (
+    API_VERSION,
+    MAX_SWEEP_CELLS,
+    ApiError,
+    error_payload,
+    parse_sweep_request,
+    sweep_request,
+)
+from repro.service.server import ReproService, create_service
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "JobManager",
+    "MAX_SWEEP_CELLS",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "SweepJob",
+    "create_service",
+    "error_payload",
+    "parse_sweep_request",
+    "sweep_request",
+]

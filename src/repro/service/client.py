@@ -1,0 +1,133 @@
+"""Thin stdlib client for the sweep service.
+
+Used by ``repro submit``, the CI service-smoke job and the end-to-end
+tests; also a reasonable starting point for external tooling::
+
+    from repro.service import ServiceClient
+    from repro.sweep import RunSpec
+
+    client = ServiceClient("http://127.0.0.1:8484")
+    specs = [RunSpec.for_run("mp3d", protocol=p) for p in ("BASIC", "P+CW")]
+    job = client.submit_and_wait(specs)
+    for cell in job["results"]:
+        print(cell["label"], cell["summary"]["execution_time"], cell["source"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.schema import sweep_request
+from repro.sweep import RunSpec
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with the server's message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client (urllib, no dependencies)."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.load(resp)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.load(exc)["error"]["message"]
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    def _get(self, path: str) -> dict:
+        return self._request("GET", path)
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get("/v1/health")
+
+    def cache_stats(self) -> dict:
+        return self._get("/v1/cache/stats")
+
+    def sweeps(self) -> dict:
+        return self._get("/v1/sweeps")
+
+    def submit(self, specs: list[RunSpec]) -> str:
+        """POST a batch; returns the sweep id."""
+        return self._request("POST", "/v1/sweeps", sweep_request(specs))["sweep"]
+
+    def sweep(
+        self,
+        sweep_id: str,
+        wait: float | None = None,
+        include_stats: bool = False,
+    ) -> dict:
+        """One status snapshot (optionally long-polling up to ``wait`` s)."""
+        query = []
+        if wait is not None:
+            query.append(f"wait={wait:g}")
+        if include_stats:
+            query.append("include=stats")
+        tail = ("?" + "&".join(query)) if query else ""
+        return self._get(f"/v1/sweeps/{sweep_id}{tail}")
+
+    def run(self, key: str) -> dict:
+        """The raw cache envelope for one spec hash."""
+        return self._get(f"/v1/runs/{key}")["run"]
+
+    # -- conveniences ---------------------------------------------------
+
+    def wait_for(
+        self,
+        sweep_id: str,
+        timeout: float = 3600.0,
+        poll: float = 10.0,
+        include_stats: bool = False,
+    ) -> dict:
+        """Long-poll until the sweep reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"sweep {sweep_id} still running after {timeout:g}s"
+                )
+            job = self.sweep(
+                sweep_id,
+                wait=min(poll, remaining),
+                include_stats=include_stats,
+            )
+            if job["state"] in ("done", "failed"):
+                return job
+
+    def submit_and_wait(
+        self,
+        specs: list[RunSpec],
+        timeout: float = 3600.0,
+        include_stats: bool = False,
+    ) -> dict:
+        """Submit a batch and block until its final status payload."""
+        sweep_id = self.submit(specs)
+        return self.wait_for(
+            sweep_id, timeout=timeout, include_stats=include_stats
+        )

@@ -1,0 +1,167 @@
+"""Asynchronous sweep jobs over one shared :class:`SweepEngine`.
+
+``POST /v1/sweeps`` maps to :meth:`JobManager.submit`: the batch is
+validated, assigned a sweep id and handed to a worker thread that
+pushes it through the engine.  Per-cell completion streams back
+through the engine's per-call hook, so ``GET /v1/sweeps/<id>`` always
+sees live progress -- which cells are done, where each result came
+from (``sim``/``cache``/``dedup``) and the finished summaries --
+without waiting for the batch.
+
+Concurrency story: *all* jobs share one engine, so two clients
+submitting overlapping matrices race neither the simulator nor the
+cache -- the engine's in-flight table collapses duplicate hashes to a
+single execution and everyone gets the same result object.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Iterable
+
+from repro.api import RunSummary
+from repro.service.schema import API_VERSION
+from repro.sweep import ProgressEvent, RunResult, RunSpec, SweepEngine
+
+
+class CellState:
+    """Live status of one spec inside a sweep job."""
+
+    __slots__ = ("index", "spec", "key", "status", "source", "wall_time",
+                 "result")
+
+    def __init__(self, index: int, spec: RunSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.key = spec.key()
+        self.status = "pending"          # "pending" | "done"
+        self.source: str | None = None   # "sim" | "cache" | "dedup"
+        self.wall_time = 0.0
+        self.result: RunResult | None = None
+
+    def to_dict(self, include_stats: bool = False) -> dict:
+        d = {
+            "index": self.index,
+            "key": self.key,
+            "label": self.spec.label(),
+            "spec": self.spec.to_wire(),
+            "status": self.status,
+            "source": self.source,
+            "wall_time": self.wall_time,
+            "summary": None,
+        }
+        if self.result is not None:
+            d["summary"] = RunSummary.from_result(self.result).to_dict(
+                include_stats=include_stats
+            )
+        return d
+
+
+class SweepJob:
+    """One submitted batch: identity, cell states, lifecycle."""
+
+    def __init__(self, job_id: str, specs: list[RunSpec]) -> None:
+        self.id = job_id
+        self.cells = [CellState(i, s) for i, s in enumerate(specs)]
+        self.state = "queued"            # queued | running | done | failed
+        self.error: str | None = None
+        self.created = time.time()
+        self.finished: float | None = None
+        self.done_event = threading.Event()
+        self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> list[RunSpec]:
+        return [c.spec for c in self.cells]
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        """Engine per-call hook: record one completed cell."""
+        cell = self.cells[event.index]
+        with self._lock:
+            cell.status = "done"
+            cell.source = event.source
+            cell.wall_time = event.wall_time
+            cell.result = event.result
+        # results arrive through the hook; a missing one (old-style
+        # hook caller) is backfilled when the batch returns.
+
+    def finish(self, results: list[RunResult] | None, error: str | None) -> None:
+        with self._lock:
+            if results is not None:
+                for cell, result in zip(self.cells, results):
+                    cell.result = result
+                    cell.status = "done"
+            self.error = error
+            self.state = "failed" if error else "done"
+            self.finished = time.time()
+        self.done_event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state (or timeout)."""
+        return self.done_event.wait(timeout)
+
+    def to_dict(self, include_stats: bool = False) -> dict:
+        """The ``GET /v1/sweeps/<id>`` body: status + per-cell detail."""
+        with self._lock:
+            done = sum(1 for c in self.cells if c.status == "done")
+            sources = {"sim": 0, "cache": 0, "dedup": 0}
+            for c in self.cells:
+                if c.source in sources:
+                    sources[c.source] += 1
+            return {
+                "v": API_VERSION,
+                "sweep": self.id,
+                "state": self.state,
+                "error": self.error,
+                "cells": len(self.cells),
+                "done": done,
+                "sources": sources,
+                "created": self.created,
+                "finished": self.finished,
+                "results": [
+                    c.to_dict(include_stats=include_stats)
+                    for c in self.cells
+                ],
+            }
+
+
+class JobManager:
+    """Owns the shared engine and every job the service has accepted."""
+
+    def __init__(self, engine: SweepEngine) -> None:
+        self.engine = engine
+        self._jobs: dict[str, SweepJob] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def submit(self, specs: Iterable[RunSpec]) -> SweepJob:
+        """Accept a batch; returns the (already running) job."""
+        specs = list(specs)
+        with self._lock:
+            job = SweepJob(f"sweep-{next(self._ids):06d}", specs)
+            self._jobs[job.id] = job
+        worker = threading.Thread(
+            target=self._execute, args=(job,),
+            name=f"repro-{job.id}", daemon=True,
+        )
+        worker.start()
+        return job
+
+    def get(self, job_id: str) -> SweepJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[SweepJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def _execute(self, job: SweepJob) -> None:
+        job.state = "running"
+        try:
+            results = self.engine.run(job.specs, on_result=job.on_progress)
+        except Exception as exc:  # surfaced via the job, not the thread
+            job.finish(None, f"{type(exc).__name__}: {exc}")
+        else:
+            job.finish(results, None)

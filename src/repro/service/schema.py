@@ -1,0 +1,88 @@
+"""Wire protocol of the sweep service: versioned JSON envelopes.
+
+Every request and response body is a JSON object carrying ``"v"``, the
+API version.  Requests with a missing/unknown version are rejected
+with 400 instead of being guessed at, exactly like
+:meth:`RunSpec.from_wire` rejects stale spec payloads -- the two
+version stamps travel together (an API envelope contains spec wire
+forms) but are bumped independently.
+
+Request shape for ``POST /v1/sweeps``::
+
+    {"v": 1, "specs": [RunSpec.to_wire(), ...]}
+
+Error shape (any endpoint)::
+
+    {"v": 1, "error": {"status": 400, "message": "..."}}
+
+Success shapes are produced by :mod:`repro.service.jobs`
+(:meth:`SweepJob.to_dict`) and :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.sweep import RunSpec, SpecSchemaError
+
+#: version of the HTTP API envelope (paths carry it too: ``/v1/...``).
+API_VERSION = 1
+
+#: refuse sweep batches larger than this -- a fat-fingered cross
+#: product should fail fast, not occupy the engine for a week.
+MAX_SWEEP_CELLS = 4096
+
+
+class ApiError(ValueError):
+    """A request the service refuses; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def error_payload(status: int, message: str) -> dict:
+    """The JSON body sent with any non-2xx response."""
+    return {
+        "v": API_VERSION,
+        "error": {"status": status, "message": message},
+    }
+
+
+def sweep_request(specs: list[RunSpec]) -> dict:
+    """Client side: the ``POST /v1/sweeps`` body for a spec batch."""
+    return {"v": API_VERSION, "specs": [s.to_wire() for s in specs]}
+
+
+def parse_sweep_request(payload: Any) -> list[RunSpec]:
+    """Server side: validate a sweep submission into concrete specs.
+
+    Raises :class:`ApiError` (with an appropriate HTTP status) on any
+    malformed, oversized or version-mismatched payload.
+    """
+    if not isinstance(payload, Mapping):
+        raise ApiError(400, "request body must be a JSON object")
+    version = payload.get("v")
+    if version != API_VERSION:
+        raise ApiError(
+            400,
+            f"unsupported api version {version!r} "
+            f"(this server speaks v{API_VERSION})",
+        )
+    specs_raw = payload.get("specs")
+    if not isinstance(specs_raw, list) or not specs_raw:
+        raise ApiError(400, "'specs' must be a non-empty list")
+    if len(specs_raw) > MAX_SWEEP_CELLS:
+        raise ApiError(
+            413,
+            f"sweep of {len(specs_raw)} cells exceeds the per-request "
+            f"limit of {MAX_SWEEP_CELLS}",
+        )
+    specs = []
+    for n, raw in enumerate(specs_raw):
+        try:
+            specs.append(RunSpec.from_wire(raw))
+        except SpecSchemaError as exc:
+            raise ApiError(422, f"specs[{n}]: {exc}") from exc
+    return specs

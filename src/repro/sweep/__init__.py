@@ -38,6 +38,7 @@ from repro.sweep.spec import (
     SPEC_SCHEMA_VERSION,
     RunResult,
     RunSpec,
+    SpecSchemaError,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "SPEC_SCHEMA_VERSION",
+    "SpecSchemaError",
     "SweepEngine",
     "default_cache_dir",
     "execute_spec",

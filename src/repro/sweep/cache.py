@@ -9,7 +9,7 @@ spec JSON plus the spec schema version.  Each file holds::
 
     {"schema": CACHE_SCHEMA_VERSION,
      "spec_key": "<key>",          # self-check against renamed files
-     "spec": {...},                # RunSpec.to_dict(), for humans/tools
+     "spec": {"v": 1, ...},        # RunSpec.to_wire(), versioned
      "stats": {...},               # MachineStats.to_dict() (versioned)
      "wall_time": 1.234}           # simulation seconds when first run
 
@@ -26,6 +26,18 @@ A spec-schema bump changes every key, so older entries are simply
 never looked up again; they can be garbage-collected with ``clear``.
 Writes are atomic (tempfile + rename), so a crashed run never leaves a
 half-written entry behind.
+
+Bounds
+------
+
+A cache constructed with ``max_bytes`` and/or ``max_entries`` evicts
+least-recently-used entries (counted in :attr:`ResultCache.evictions`)
+whenever a ``put`` pushes it over either limit.  Recency survives
+restarts: hits touch the entry's mtime, and a bounded cache rebuilds
+its LRU index from mtimes at construction.  An unbounded cache (the
+default) keeps the historical zero-overhead behavior -- no index, no
+touching.  :meth:`stats` reports sizes and counters either way; the
+service exposes it verbatim at ``GET /v1/cache/stats``.
 """
 
 from __future__ import annotations
@@ -33,6 +45,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
 
 from repro.stats.counters import MachineStats
@@ -55,7 +69,12 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """Spec-addressed store of completed :class:`RunResult` payloads."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
         self.root = Path(root)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -63,18 +82,77 @@ class ResultCache:
             raise ValueError(
                 f"cache dir {self.root} exists and is not a directory"
             ) from None
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        # one engine (and the HTTP service on top of it) may drive the
+        # cache from many threads; counters and the LRU index are
+        # guarded by a reentrant lock, file writes are atomic anyway.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidated = 0
+        self.evictions = 0
+        #: LRU index (key -> file size), oldest first; only maintained
+        #: when a bound is configured so the unbounded cache stays
+        #: index-free and zero-overhead.
+        self._index: OrderedDict[str, int] | None = None
+        if max_bytes is not None or max_entries is not None:
+            self._index = self._build_index()
+            self._evict()
+
+    @property
+    def bounded(self) -> bool:
+        """True when an eviction limit is configured."""
+        return self._index is not None
+
+    # -- addressing -----------------------------------------------------
+
+    def path_for_key(self, key: str) -> Path:
+        """The file that does/would hold the result hashed to ``key``."""
+        return self.root / key[:2] / f"{key}.json"
 
     def path_for(self, spec: RunSpec) -> Path:
         """The file that does/would hold this spec's result."""
-        key = spec.key()
-        return self.root / key[:2] / f"{key}.json"
+        return self.path_for_key(spec.key())
+
+    # -- read -----------------------------------------------------------
 
     def get(self, spec: RunSpec) -> RunResult | None:
         """The cached result, or None (counting hit/miss/invalidation)."""
-        path = self.path_for(spec)
+        with self._lock:
+            payload = self._load(spec.key())
+            if payload is None:
+                return None
+            try:
+                stats = MachineStats.from_dict(payload["stats"])
+                wall_time = float(payload.get("wall_time", 0.0))
+            except (KeyError, TypeError, ValueError):
+                self._invalidate(spec.key())
+                return None
+            self.hits += 1
+            self._touch(spec.key())
+        return RunResult(
+            spec=spec, stats=stats, wall_time=wall_time, from_cache=True
+        )
+
+    def get_by_key(self, key: str) -> dict | None:
+        """The raw cache envelope for a bare content hash, or None.
+
+        This is the ``GET /v1/runs/<hash>`` read path: no spec needed,
+        the stored payload (spec wire form included) is returned as-is.
+        Counts hits/misses and refreshes recency like :meth:`get`.
+        """
+        with self._lock:
+            payload = self._load(key)
+            if payload is None:
+                return None
+            self.hits += 1
+            self._touch(key)
+        return payload
+
+    def _load(self, key: str) -> dict | None:
+        """Read + envelope-check one entry (miss/invalidate accounting)."""
+        path = self.path_for_key(key)
         try:
             with open(path) as fh:
                 payload = json.load(fh)
@@ -82,31 +160,29 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, json.JSONDecodeError):
-            self._invalidate(path)
+            self._invalidate(key)
             return None
         try:
             if payload["schema"] != CACHE_SCHEMA_VERSION:
                 raise ValueError("cache envelope version mismatch")
-            if payload["spec_key"] != spec.key():
+            if payload["spec_key"] != key:
                 raise ValueError("cache entry does not match its key")
-            stats = MachineStats.from_dict(payload["stats"])
-            wall_time = float(payload.get("wall_time", 0.0))
         except (KeyError, TypeError, ValueError):
-            self._invalidate(path)
+            self._invalidate(key)
             return None
-        self.hits += 1
-        return RunResult(
-            spec=spec, stats=stats, wall_time=wall_time, from_cache=True
-        )
+        return payload
+
+    # -- write ----------------------------------------------------------
 
     def put(self, result: RunResult) -> None:
-        """Store a completed result (atomic write)."""
-        path = self.path_for(result.spec)
+        """Store a completed result (atomic write, then LRU eviction)."""
+        key = result.spec.key()
+        path = self.path_for_key(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
-            "spec_key": result.spec.key(),
-            "spec": result.spec.to_dict(),
+            "spec_key": key,
+            "spec": result.spec.to_wire(),
             "stats": result.stats.to_dict(),
             "wall_time": result.wall_time,
         }
@@ -123,26 +199,113 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        with self._lock:
+            if self._index is not None:
+                self._index.pop(key, None)
+                self._index[key] = path.stat().st_size
+                self._evict()
 
-    def _invalidate(self, path: Path) -> None:
-        """Drop a stale/corrupt entry; counts as invalidated + miss."""
-        self.invalidated += 1
-        self.misses += 1
+    # -- bounds ---------------------------------------------------------
+
+    def _build_index(self) -> OrderedDict[str, int]:
+        """Scan the shards into an mtime-ordered (oldest-first) index."""
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, path.stem, st.st_size))
+        entries.sort()
+        return OrderedDict((key, size) for _, key, size in entries)
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's recency (index order + on-disk mtime)."""
+        if self._index is None:
+            return
+        if key in self._index:
+            self._index.move_to_end(key)
         try:
-            os.unlink(path)
+            os.utime(self.path_for_key(key))
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        """Drop LRU entries until both configured bounds hold."""
+        if self._index is None:
+            return
+        while self._index and self._over_limit():
+            key, _ = self._index.popitem(last=False)
+            self.evictions += 1
+            try:
+                os.unlink(self.path_for_key(key))
+            except OSError:
+                pass
+
+    def _over_limit(self) -> bool:
+        if self.max_entries is not None and len(self._index) > self.max_entries:
+            return True
+        if self.max_bytes is not None \
+                and sum(self._index.values()) > self.max_bytes:
+            return True
+        return False
+
+    # -- maintenance / introspection ------------------------------------
+
+    def _invalidate(self, key: str) -> None:
+        """Drop a stale/corrupt entry; counts as invalidated + miss."""
+        with self._lock:
+            self.invalidated += 1
+            self.misses += 1
+            if self._index is not None:
+                self._index.pop(key, None)
+        try:
+            os.unlink(self.path_for_key(key))
         except OSError:
             pass
 
     def clear(self) -> int:
         """Delete every entry under the root; returns the count."""
-        n = 0
+        with self._lock:
+            n = 0
+            for path in self.root.glob("*/*.json"):
+                try:
+                    os.unlink(path)
+                    n += 1
+                except OSError:
+                    pass
+            if self._index is not None:
+                self._index.clear()
+            return n
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored (index sum, or a scan if unbounded)."""
+        with self._lock:
+            if self._index is not None:
+                return sum(self._index.values())
+        total = 0
         for path in self.root.glob("*/*.json"):
             try:
-                os.unlink(path)
-                n += 1
+                total += path.stat().st_size
             except OSError:
                 pass
-        return n
+        return total
+
+    def stats(self) -> dict:
+        """JSON-able counter/size digest (served at /v1/cache/stats)."""
+        with self._lock:
+            return {
+                "entries": len(self),
+                "bytes": self.total_bytes(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidated": self.invalidated,
+                "evictions": self.evictions,
+                "max_bytes": self.max_bytes,
+                "max_entries": self.max_entries,
+            }
 
     def __len__(self) -> int:
+        if self._index is not None:
+            return len(self._index)
         return sum(1 for _ in self.root.glob("*/*.json"))

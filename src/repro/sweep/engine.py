@@ -15,12 +15,21 @@ and fires the progress hook.  Routing *both* the live and the cached
 path through the same versioned dict round-trip guarantees that a
 process-pool sweep, a serial sweep and a cache replay produce
 bitwise-identical statistics.
+
+One engine may be shared by many threads (the HTTP service submits
+every client sweep through a single engine).  ``run`` is thread-safe,
+and concurrent submissions of the *same* spec hash are **deduplicated
+in flight**: the first submitter simulates, everyone else blocks on
+the shared execution and receives the identical result (reported with
+progress source ``"dedup"`` and counted in :attr:`SweepEngine.deduped`).
+Duplicates inside one batch collapse the same way.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -45,7 +54,10 @@ class ProgressEvent:
     total: int          #: batch size
     spec: RunSpec
     wall_time: float    #: seconds spent simulating (0.0 for cache hits)
-    source: str         #: "sim" or "cache"
+    source: str         #: "sim", "cache" or "dedup" (shared execution)
+    #: the completed result; lets per-call hooks (the service's job
+    #: tracker) stream results without waiting for the whole batch.
+    result: RunResult | None = None
 
 
 ProgressHook = Callable[[ProgressEvent], None]
@@ -92,6 +104,16 @@ def _ensure_importable_by_workers() -> None:
         )
 
 
+class _InFlight:
+    """One spec hash currently executing; waiters block on the event."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: RunResult | None = None
+
+
 class SweepEngine:
     """Executes spec batches with memoization and progress reporting."""
 
@@ -118,37 +140,83 @@ class SweepEngine:
         self.misses = 0
         #: cells served from the cache without simulating.
         self.hits = 0
+        #: cells that piggybacked on an identical in-flight execution.
+        self.deduped = 0
         #: wall-clock seconds spent inside run().
         self.wall_time = 0.0
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
 
     @property
     def invalidated(self) -> int:
         """Stale cache entries dropped on this engine's behalf."""
-        return self.cache.invalidated if self.cache else 0
+        return self.cache.invalidated if self.cache is not None else 0
 
     # ------------------------------------------------------------------
 
-    def run(self, specs: Iterable[RunSpec]) -> list[RunResult]:
-        """Execute every spec; results come back in submission order."""
+    def run(
+        self,
+        specs: Iterable[RunSpec],
+        on_result: ProgressHook | None = None,
+    ) -> list[RunResult]:
+        """Execute every spec; results come back in submission order.
+
+        ``on_result`` is a per-call completion callback fired *in
+        addition to* the engine-wide hook -- the service uses it to
+        track each client sweep separately on one shared engine.
+        """
         batch = list(specs)
+        total = len(batch)
         t0 = time.perf_counter()
-        self.cells += len(batch)
-        results: list[RunResult | None] = [None] * len(batch)
-        pending: list[int] = []
+        with self._lock:
+            self.cells += total
+        results: list[RunResult | None] = [None] * total
+        pending: list[int] = []                      # this call simulates
+        waiting: list[tuple[int, _InFlight]] = []    # someone else is
+        owned: dict[str, _InFlight] = {}             # keys this call claimed
         for i, spec in enumerate(batch):
-            cached = self.cache.get(spec) if self.cache else None
+            cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[i] = cached
-                self.hits += 1
-                self._report(i, len(batch), spec, 0.0, "cache")
-            else:
-                pending.append(i)
-        self.misses += len(pending)
-        if pending:
-            if self.executor == "process" and len(pending) > 1:
-                self._run_pooled(batch, pending, results)
-            else:
-                self._run_serial(batch, pending, results)
+                with self._lock:
+                    self.hits += 1
+                self._report(i, total, spec, 0.0, "cache", on_result, cached)
+                continue
+            key = spec.key()
+            with self._lock:
+                mine = owned.get(key)
+                theirs = self._inflight.get(key)
+                if mine is not None:
+                    waiting.append((i, mine))
+                    self.deduped += 1
+                elif theirs is not None:
+                    waiting.append((i, theirs))
+                    self.deduped += 1
+                else:
+                    entry = _InFlight()
+                    self._inflight[key] = entry
+                    owned[key] = entry
+                    pending.append(i)
+        with self._lock:
+            self.misses += len(pending)
+        try:
+            if pending:
+                if self.executor == "process" and len(pending) > 1:
+                    self._run_pooled(batch, pending, results, on_result)
+                else:
+                    self._run_serial(batch, pending, results, on_result)
+        finally:
+            # release any claims left unresolved by an executor failure
+            # so waiters (here and in other threads) never deadlock.
+            with self._lock:
+                for key, entry in owned.items():
+                    if not entry.event.is_set():
+                        self._inflight.pop(key, None)
+                        entry.event.set()
+        for i, entry in waiting:
+            results[i] = self._await_shared(batch[i], entry)
+            self._report(i, total, batch[i], 0.0, "dedup", on_result,
+                         results[i])
         self.wall_time += time.perf_counter() - t0
         return results  # type: ignore[return-value]  # every slot filled
 
@@ -156,17 +224,41 @@ class SweepEngine:
         """Single-cell convenience wrapper over :meth:`run`."""
         return self.run([spec])[0]
 
+    def _await_shared(self, spec: RunSpec, entry: _InFlight) -> RunResult:
+        """Block on another submission's execution of an equal spec.
+
+        If the owner failed (event set, no result), fall back to
+        executing the cell ourselves -- correctness over economy in a
+        path that only a crashed sibling submission can reach.
+        """
+        entry.event.wait()
+        if entry.result is not None:
+            return entry.result
+        cached = self.cache.get(spec) if self.cache is not None else None
+        if cached is not None:
+            return cached
+        t0 = time.perf_counter()
+        stats = execute_spec(spec)
+        result = RunResult(
+            spec=spec, stats=stats,
+            wall_time=time.perf_counter() - t0, from_cache=False,
+        )
+        if self.cache is not None:
+            self.cache.put(result)
+        return result
+
     # ------------------------------------------------------------------
 
-    def _run_serial(self, batch, pending, results) -> None:
+    def _run_serial(self, batch, pending, results, hook) -> None:
         for i in pending:
             t0 = time.perf_counter()
             stats = execute_spec(batch[i])
             self._complete(
-                batch, i, len(batch), stats, time.perf_counter() - t0, results
+                batch, i, len(batch), stats, time.perf_counter() - t0,
+                results, hook,
             )
 
-    def _run_pooled(self, batch, pending, results) -> None:
+    def _run_pooled(self, batch, pending, results, hook) -> None:
         workers = min(self.max_workers, len(pending))
         chunks = self._chunked(pending, workers)
         _ensure_importable_by_workers()
@@ -188,7 +280,7 @@ class SweepEngine:
                         stats = MachineStats.from_dict(payload["stats"])
                         self._complete(
                             batch, i, len(batch), stats,
-                            payload["wall_time"], results,
+                            payload["wall_time"], results, hook,
                         )
 
     def _chunked(self, pending: Sequence[int], workers: int) -> list[list[int]]:
@@ -200,21 +292,36 @@ class SweepEngine:
             list(pending[i:i + size]) for i in range(0, len(pending), size)
         ]
 
-    def _complete(self, batch, i, total, stats, wall_time, results) -> None:
+    def _complete(self, batch, i, total, stats, wall_time, results,
+                  hook) -> None:
         result = RunResult(
             spec=batch[i], stats=stats, wall_time=wall_time, from_cache=False
         )
         if self.cache is not None:
             self.cache.put(result)
         results[i] = result
-        self._report(i, total, batch[i], wall_time, "sim")
+        # publish to in-flight waiters before reporting progress, so a
+        # hook that inspects the engine sees the claim already released.
+        key = batch[i].key()
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+        if entry is not None:
+            entry.result = result
+            entry.event.set()
+        self._report(i, total, batch[i], wall_time, "sim", hook, result)
 
-    def _report(self, i, total, spec, wall_time, source) -> None:
+    def _report(self, i, total, spec, wall_time, source, hook=None,
+                result=None) -> None:
+        if self.on_result is None and hook is None:
+            return
+        event = ProgressEvent(
+            index=i, total=total, spec=spec,
+            wall_time=wall_time, source=source, result=result,
+        )
         if self.on_result is not None:
-            self.on_result(ProgressEvent(
-                index=i, total=total, spec=spec,
-                wall_time=wall_time, source=source,
-            ))
+            self.on_result(event)
+        if hook is not None:
+            hook(event)
 
     # ------------------------------------------------------------------
 
@@ -222,9 +329,23 @@ class SweepEngine:
         """One-line counter digest, e.g. for CLI stderr reporting."""
         return (
             f"[sweep] cells={self.cells} hits={self.hits} "
-            f"misses={self.misses} invalidated={self.invalidated} "
+            f"misses={self.misses} deduped={self.deduped} "
+            f"invalidated={self.invalidated} "
             f"executor={self.executor} wall={self.wall_time:.2f}s"
         )
+
+    def counters(self) -> dict:
+        """JSON-able counter digest (served at /v1/health)."""
+        return {
+            "cells": self.cells,
+            "hits": self.hits,
+            "misses": self.misses,
+            "deduped": self.deduped,
+            "invalidated": self.invalidated,
+            "in_flight": len(self._inflight),
+            "executor": self.executor,
+            "wall_time": self.wall_time,
+        }
 
 
 def run_spec(spec: RunSpec, engine: SweepEngine | None = None) -> RunResult:

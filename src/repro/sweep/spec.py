@@ -17,6 +17,14 @@ and bookkeeping (wall time, cache provenance).  Unlike the historical
 ``experiments.runner.RunResult`` it does **not** hold the simulated
 :class:`~repro.system.System`, so it pickles cheaply and fits in the
 on-disk cache.
+
+Specs that leave the process -- cache files, service requests, thin
+clients -- travel as the *wire form*: the plain dict plus an explicit
+``"v"`` schema stamp (``to_wire``/``from_wire``, or ``to_json``/
+``from_json`` for the serialized string).  Deserialization rejects
+unknown versions with :class:`SpecSchemaError` instead of guessing at
+field meanings, so a stale payload fails loudly rather than
+mis-deserializing into a subtly different machine.
 """
 
 from __future__ import annotations
@@ -41,9 +49,17 @@ from repro.stats.counters import MachineStats
 #: becomes unreachable, which is exactly the invalidation we want.
 SPEC_SCHEMA_VERSION = 1
 
-#: the paper's seed; kept in one place so the API, the deprecated
-#: ``run_once`` shim and every experiment driver agree.
+#: the paper's seed; kept in one place so the API, the service layer
+#: and every experiment driver agree.
 DEFAULT_SEED = 1994
+
+
+class SpecSchemaError(ValueError):
+    """A serialized RunSpec payload cannot be deserialized safely.
+
+    Raised for malformed JSON, a missing/unknown ``"v"`` stamp or a
+    payload whose fields do not reassemble into a valid spec.
+    """
 
 
 def _network_to_dict(net: NetworkConfig) -> dict:
@@ -162,6 +178,58 @@ class RunSpec:
             page_placement=d["page_placement"],
             workload_kw=d.get("workload_kw", {}),
         )
+
+    # -- wire form (versioned) ------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The dict that crosses process/network boundaries.
+
+        :meth:`to_dict` plus an explicit ``"v"`` schema stamp; the only
+        spec shape the cache files and the service API exchange.
+        """
+        return {"v": SPEC_SCHEMA_VERSION, **self.to_dict()}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_wire` output.
+
+        Raises :class:`SpecSchemaError` when the payload is not a dict,
+        carries no/an unknown ``"v"`` stamp, or its fields do not
+        reassemble into a valid spec.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecSchemaError(
+                f"spec payload must be an object, got {type(payload).__name__}"
+            )
+        version = payload.get("v")
+        if version != SPEC_SCHEMA_VERSION:
+            raise SpecSchemaError(
+                f"unknown spec schema version {version!r} "
+                f"(this build speaks v{SPEC_SCHEMA_VERSION}); "
+                "refusing to mis-deserialize a stale payload"
+            )
+        fields = {k: v for k, v in payload.items() if k != "v"}
+        try:
+            return cls.from_dict(fields)
+        except SpecSchemaError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecSchemaError(f"invalid spec payload: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Canonical JSON string of :meth:`to_wire`."""
+        return json.dumps(self.to_wire(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "RunSpec":
+        """Inverse of :meth:`to_json`; same errors as :meth:`from_wire`."""
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise SpecSchemaError(f"spec payload is not valid JSON: {exc}") \
+                from exc
+        return cls.from_wire(payload)
 
     def key(self) -> str:
         """Stable content hash of this spec (cache address).

@@ -117,6 +117,56 @@ class TestCompareProtocols:
         assert basic.speedup_over(basic) == pytest.approx(1.0)
 
 
+class TestSerialization:
+    def test_summary_to_dict_digest(self):
+        s = api.run_app("water", protocol="P", scale=0.2, n_procs=4)
+        d = s.to_dict()
+        assert d["app"] == "water"
+        assert d["protocol"] == "P"
+        assert d["execution_time"] == s.execution_time
+        assert d["spec"]["v"] == 1
+        assert "stats" not in d, "full stats only on request"
+        import json
+
+        json.dumps(d)  # must be JSON-able as-is
+
+    def test_summary_to_dict_with_stats(self):
+        s = api.run_app("water", scale=0.2, n_procs=4)
+        d = s.to_dict(include_stats=True)
+        assert d["stats"] == s.stats.to_dict()
+
+    def test_from_result_and_from_stats_agree(self):
+        """Both constructors route through one path -> identical digests."""
+        from repro.sweep import RunSpec, run_spec
+
+        spec = RunSpec.for_run("water", protocol="P", scale=0.2, n_procs=4)
+        result = run_spec(spec)
+        a = api.RunSummary.from_result(result)
+        b = api.RunSummary.from_stats("water", spec.to_config(), result.stats)
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("spec"), db.pop("spec")  # from_stats has no spec
+        assert da == db
+
+    def test_summary_has_release_and_replacement(self):
+        s = api.run_app("water", scale=0.2, n_procs=4)
+        assert s.release_stall_fraction >= 0
+        assert s.replacement_miss_rate >= 0
+
+    def test_ranking_to_dict(self):
+        ranking = api.compare_protocols(
+            "water", protocols=("BASIC", "P"), scale=0.2, n_procs=4
+        )
+        d = ranking.to_dict()
+        assert d["app"] == "water"
+        assert d["baseline"] == "BASIC"
+        assert set(d["speedups"]) == {"BASIC", "P"}
+        assert [s["protocol"] for s in d["summaries"]] \
+            == [s.protocol for s in ranking.summaries]
+        import json
+
+        json.dumps(d)
+
+
 class TestEngineIntegration:
     def test_run_app_through_cached_engine(self, tmp_path):
         from repro.sweep import ResultCache, SweepEngine

@@ -112,13 +112,93 @@ class TestProgress:
         assert "cells=1" in line and "misses=1" in line and "hits=0" in line
 
 
-class TestDeprecatedShim:
-    def test_run_once_still_works_but_warns(self):
+class TestInFlightDedup:
+    def _slow_counting_execute(self, monkeypatch, delay=0.2):
+        """Wrap execute_spec with a call counter and an overlap window."""
+        import threading
+        import time
+
+        from repro.sweep import engine as engine_mod
+
+        calls = []
+        lock = threading.Lock()
+        real = engine_mod.execute_spec
+
+        def counting(spec):
+            with lock:
+                calls.append(spec.key())
+            time.sleep(delay)
+            return real(spec)
+
+        monkeypatch.setattr(engine_mod, "execute_spec", counting)
+        return calls
+
+    def test_concurrent_identical_submissions_run_once(self, monkeypatch):
+        import threading
+
+        calls = self._slow_counting_execute(monkeypatch)
+        engine = SweepEngine()
+        spec = MATRIX[0]
+        results = [None, None]
+
+        def submit(slot):
+            results[slot] = engine.run_one(spec)
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1, "duplicate submission must share execution"
+        assert engine.deduped == 1
+        assert results[0].stats == results[1].stats
+
+    def test_duplicates_within_one_batch_collapse(self, monkeypatch):
+        calls = self._slow_counting_execute(monkeypatch, delay=0.0)
+        engine = SweepEngine()
+        spec = MATRIX[0]
+        results = engine.run([spec, spec, spec])
+        assert len(calls) == 1
+        assert engine.deduped == 2
+        assert results[0].stats == results[1].stats == results[2].stats
+
+    def test_dedup_reports_progress_source(self, monkeypatch):
+        self._slow_counting_execute(monkeypatch, delay=0.0)
+        events = []
+        engine = SweepEngine()
+        engine.run([MATRIX[0], MATRIX[0]], on_result=events.append)
+        assert sorted(e.source for e in events) == ["dedup", "sim"]
+        assert all(e.result is not None for e in events)
+
+    def test_distinct_specs_unaffected(self, monkeypatch):
+        calls = self._slow_counting_execute(monkeypatch, delay=0.0)
+        engine = SweepEngine()
+        engine.run(MATRIX)
+        assert len(calls) == len(MATRIX)
+        assert engine.deduped == 0
+
+
+class TestPerCallHook:
+    def test_per_call_hook_fires_alongside_engine_hook(self):
+        engine_events, call_events = [], []
+        engine = SweepEngine(on_result=engine_events.append)
+        engine.run(MATRIX[:1], on_result=call_events.append)
+        assert len(engine_events) == len(call_events) == 1
+        assert call_events[0].source == "sim"
+        assert call_events[0].result is not None
+        assert call_events[0].result.execution_time > 0
+
+
+class TestRemovedShim:
+    def test_run_once_hard_fails_with_migration_message(self):
         from repro.experiments.runner import run_once
 
-        with pytest.deprecated_call():
-            res = run_once("water", protocol="P", scale=0.2)
-        assert res.protocol == "P"
-        assert res.execution_time > 0
-        # the shim result is spec-addressed like any engine result
-        assert res.spec.app == "water"
+        with pytest.raises(RuntimeError, match="RunSpec"):
+            run_once("water", protocol="P", scale=0.2)
+
+    def test_run_once_no_longer_exported(self):
+        import repro.experiments as experiments
+
+        assert "run_once" not in experiments.__all__

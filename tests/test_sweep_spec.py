@@ -1,5 +1,6 @@
 """Tests for RunSpec: hashing stability, canonicalization, round trips."""
 
+import json
 import os
 import subprocess
 import sys
@@ -8,7 +9,7 @@ import pytest
 
 from repro.config import Consistency, NetworkConfig, NetworkKind
 from repro.experiments.runner import limited_slc_cache, mesh_network
-from repro.sweep import RunSpec
+from repro.sweep import SPEC_SCHEMA_VERSION, RunSpec, SpecSchemaError
 
 
 class TestCanonicalization:
@@ -107,6 +108,52 @@ class TestRoundTrip:
         assert cfg.page_placement == "first_touch"
         assert cfg.network.kind is NetworkKind.MESH
         assert cfg.consistency is Consistency.RC
+
+    def test_json_round_trip_with_overrides(self):
+        spec = RunSpec.for_run(
+            "cholesky", protocol="P+M", consistency=Consistency.SC,
+            n_procs=9, scale=0.3, seed=3,
+            network=NetworkConfig(kind=NetworkKind.MESH, link_width_bits=16),
+            cache=limited_slc_cache(32 * 1024),
+            page_placement="first_touch",
+            extra_knob=5,
+        )
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.key() == spec.key()
+        assert again.network == spec.network
+        assert again.cache == spec.cache
+
+    def test_wire_form_carries_version_stamp(self):
+        wire = RunSpec.for_run("water").to_wire()
+        assert wire["v"] == SPEC_SCHEMA_VERSION
+        assert RunSpec.from_wire(wire) == RunSpec.for_run("water")
+        assert json.loads(RunSpec.for_run("water").to_json())["v"] \
+            == SPEC_SCHEMA_VERSION
+
+    def test_unknown_version_rejected(self):
+        wire = RunSpec.for_run("water").to_wire()
+        wire["v"] = SPEC_SCHEMA_VERSION + 1
+        with pytest.raises(SpecSchemaError, match="unknown spec schema"):
+            RunSpec.from_wire(wire)
+
+    def test_missing_version_rejected(self):
+        # a bare to_dict() payload (no stamp) must not deserialize
+        d = RunSpec.for_run("water").to_dict()
+        with pytest.raises(SpecSchemaError):
+            RunSpec.from_wire(d)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SpecSchemaError, match="not valid JSON"):
+            RunSpec.from_json("{nope")
+        with pytest.raises(SpecSchemaError):
+            RunSpec.from_json("[1, 2, 3]")  # valid JSON, wrong shape
+
+    def test_broken_fields_rejected(self):
+        wire = RunSpec.for_run("water").to_wire()
+        del wire["network"]
+        with pytest.raises(SpecSchemaError, match="invalid spec payload"):
+            RunSpec.from_wire(wire)
 
     def test_label_mentions_cell_coordinates(self):
         spec = RunSpec.for_run("water", protocol="P", n_procs=4,
