@@ -8,15 +8,22 @@ from repro.experiments import scaling
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_mp3d(benchmark, scale):
-    data = once(benchmark, lambda: scaling.run(app="mp3d", scale=scale))
+    data = once(
+        benchmark,
+        lambda: scaling.run(
+            app="mp3d", scale=scale, sizes=(4, 16),
+            directories=("full_map",),
+        ),
+    )
     print()
     print(scaling.render(data, app="mp3d"))
+    per_size = data["full_map"]
     # the sharing-driven extensions (CW, M) gain ground as the machine
     # grows: their 16-processor relative time does not regress vs the
     # 4-processor one by more than noise
     for proto in ("CW", "M"):
-        rel4 = data[4][proto][1]
-        rel16 = data[16][proto][1]
+        rel4 = per_size[4][proto][1]
+        rel16 = per_size[16][proto][1]
         assert rel16 <= rel4 + 0.08, proto
     # the baseline's absolute time grows with contention
-    assert data[16]["BASIC"][0] > 0
+    assert per_size[16]["BASIC"][0] > 0

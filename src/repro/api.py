@@ -40,6 +40,7 @@ from repro.config import (
     ALL_PROTOCOLS,
     CacheConfig,
     Consistency,
+    DirectoryConfig,
     NetworkConfig,
     ProtocolConfig,
     SystemConfig,
@@ -167,6 +168,7 @@ def _spec(
     network: NetworkConfig | None,
     cache: CacheConfig | None,
     seed: int,
+    directory: DirectoryConfig | str | None = None,
 ) -> RunSpec:
     return RunSpec.for_run(
         app,
@@ -177,6 +179,7 @@ def _spec(
         n_procs=n_procs,
         scale=scale,
         seed=seed,
+        directory=directory,
     )
 
 
@@ -189,11 +192,17 @@ def run_app(
     network: NetworkConfig | None = None,
     cache: CacheConfig | None = None,
     seed: int = DEFAULT_SEED,
+    directory: DirectoryConfig | str | None = None,
     engine: SweepEngine | None = None,
 ) -> RunSummary:
-    """Simulate one application on one machine; returns a digest."""
+    """Simulate one application on one machine; returns a digest.
+
+    ``directory`` selects the directory organization (a
+    :class:`~repro.config.DirectoryConfig` or a name like
+    ``"limited:4"``; default full map).
+    """
     spec = _spec(app, protocol, consistency, scale, n_procs, network,
-                 cache, seed)
+                 cache, seed, directory)
     engine = engine or SweepEngine()
     return RunSummary.from_result(engine.run_one(spec))
 
@@ -256,6 +265,7 @@ def compare_protocols(
     network: NetworkConfig | None = None,
     cache: CacheConfig | None = None,
     seed: int = DEFAULT_SEED,
+    directory: DirectoryConfig | str | None = None,
     baseline: str = "BASIC",
     engine: SweepEngine | None = None,
 ) -> Ranking:
@@ -270,7 +280,8 @@ def compare_protocols(
     if baseline not in protocols:
         protocols = (baseline, *protocols)
     specs = [
-        _spec(app, p, consistency, scale, n_procs, network, cache, seed)
+        _spec(app, p, consistency, scale, n_procs, network, cache, seed,
+              directory)
         for p in protocols
     ]
     engine = engine or SweepEngine()

@@ -56,6 +56,10 @@ QUICK_MATRIX: tuple[tuple[str, str, int, float], ...] = (
     ("lu", "BASIC", 16, 0.3),
     ("cholesky", "CW", 16, 0.3),
     ("ocean", "M", 16, 0.3),
+    # wall-clock cost at scale: an 8x8-mesh machine (64 homes, wider
+    # invalidation fan-out) so throughput regressions that only bite
+    # past the paper's 16 processors are caught too.
+    ("mp3d", "P+CW", 64, 0.1),
 )
 
 #: the five paper applications under all eight protocol combinations

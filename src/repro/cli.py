@@ -25,6 +25,7 @@ import sys
 from repro.config import (
     ALL_PROTOCOLS,
     Consistency,
+    DirectoryConfig,
     NetworkConfig,
     NetworkKind,
     SystemConfig,
@@ -46,16 +47,40 @@ def _protocol_arg(args) -> str:
     return getattr(args, "extensions", None) or args.protocol
 
 
-def _make_config(args) -> SystemConfig:
-    network = NetworkConfig()
+def _parse_mesh_dims(text: str) -> tuple[int, int]:
+    """Parse a ``WxH`` mesh-dimension argument (e.g. ``8x2``)."""
+    try:
+        w, h = (int(part) for part in text.lower().split("x"))
+        return w, h
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected WxH (e.g. 8x2), got {text!r}"
+        ) from None
+
+
+def _network_arg(args) -> NetworkConfig | None:
+    """The NetworkConfig described by ``--mesh`` / ``--mesh-dims``."""
+    dims = getattr(args, "mesh_dims", None)
     if getattr(args, "mesh", None):
-        network = NetworkConfig(
-            kind=NetworkKind.MESH, link_width_bits=args.mesh
+        return NetworkConfig(
+            kind=NetworkKind.MESH, link_width_bits=args.mesh, mesh_dims=dims,
         )
+    if dims:
+        return NetworkConfig(kind=NetworkKind.MESH, mesh_dims=dims)
+    return None
+
+
+def _directory_arg(args) -> DirectoryConfig:
+    return DirectoryConfig.from_name(getattr(args, "directory", None)
+                                     or "full_map")
+
+
+def _make_config(args) -> SystemConfig:
     return SystemConfig(
         n_procs=args.procs,
         consistency=Consistency(args.consistency),
-        network=network,
+        network=_network_arg(args) or NetworkConfig(),
+        directory=_directory_arg(args),
     ).with_protocol(_protocol_arg(args))
 
 
@@ -123,11 +148,7 @@ def cmd_compare(args) -> int:
     from repro.experiments.runner import engine_from_args, print_sweep_summary
     from repro.sweep import RunSpec
 
-    network = None
-    if getattr(args, "mesh", None):
-        network = NetworkConfig(
-            kind=NetworkKind.MESH, link_width_bits=args.mesh
-        )
+    network = _network_arg(args)
     combos = args.extensions or args.protocols
     specs = [
         RunSpec.for_run(
@@ -138,6 +159,7 @@ def cmd_compare(args) -> int:
             n_procs=args.procs,
             scale=args.scale,
             seed=args.seed,
+            directory=_directory_arg(args),
         )
         for proto in combos
     ]
@@ -259,11 +281,7 @@ def cmd_submit(args) -> int:
     from repro.service import ServiceClient, ServiceError
     from repro.sweep import RunSpec
 
-    network = None
-    if getattr(args, "mesh", None):
-        network = NetworkConfig(
-            kind=NetworkKind.MESH, link_width_bits=args.mesh
-        )
+    network = _network_arg(args)
     combos = args.extensions or args.protocols
     specs = [
         RunSpec.for_run(
@@ -274,6 +292,7 @@ def cmd_submit(args) -> int:
             n_procs=args.procs,
             scale=args.scale,
             seed=args.seed,
+            directory=_directory_arg(args),
         )
         for proto in combos
     ]
@@ -346,6 +365,13 @@ def cmd_experiments(args) -> int:
             extra.append("--no-cache")
         if args.progress:
             extra.append("--progress")
+    if args.name == "scaling":
+        if args.sizes:
+            extra += ["--sizes", args.sizes]
+        if args.directories:
+            extra += ["--directories", args.directories]
+        if args.app:
+            extra += ["--app", args.app]
     driver.main(extra)
     return 0
 
@@ -381,6 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--mesh", type=int, metavar="LINK_BITS",
                 help="use a wormhole mesh with this link width",
+            )
+            p.add_argument(
+                "--mesh-dims", type=_parse_mesh_dims, metavar="WxH",
+                help=(
+                    "explicit mesh dimensions (e.g. 8x2); implies a "
+                    "mesh; default: squarest factoring of --procs"
+                ),
+            )
+            p.add_argument(
+                "--directory", metavar="ORG", default="full_map",
+                help=(
+                    "directory organization: full_map, limited[:i] "
+                    "(Dir_i-B) or coarse[:k] (default: %(default)s)"
+                ),
             )
 
     p_run = sub.add_parser("run", help="simulate one configuration")
@@ -489,6 +529,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_ex.add_argument("--scale", type=float, default=1.0)
+    p_ex.add_argument(
+        "--sizes", default=None, metavar="N,N,...",
+        help="(scaling) comma-separated processor counts",
+    )
+    p_ex.add_argument(
+        "--directories", default=None, metavar="ORG,ORG,...",
+        help="(scaling) comma-separated directory organizations",
+    )
+    p_ex.add_argument(
+        "--app", default=None, choices=ALL_APP_NAMES,
+        help="(scaling) application to scale",
+    )
     add_sweep_args(p_ex)
     p_ex.set_defaults(fn=cmd_experiments)
 

@@ -369,7 +369,7 @@ class CompetitiveExtension(ProtocolExtension):
             t = home.mem_access(t, msg.block)  # absorb the writeback
         entry.state = MemoryState.CLEAN
         entry.owner = None
-        entry.sharers = set()
+        entry.reset_sharers()
         if not msg.drop and xact.old_owner is not None:
             entry.sharers.add(xact.old_owner)
         home.close_xact(msg.block)

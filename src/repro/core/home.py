@@ -25,8 +25,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
-from repro.config import ProtocolConfig, TimingConfig
-from repro.core.directory import Directory, DirectoryEntry
+from repro.config import DirectoryConfig, ProtocolConfig, TimingConfig
+from repro.core.directory import Directory, DirectoryEntry, make_directory_org
 from repro.core.extensions import ExtensionPipeline, build_pipeline
 from repro.core.messages import Message, MsgType
 from repro.core.states import MemoryState
@@ -67,6 +67,7 @@ class HomeController:
         send: SendFn,
         n_nodes: int,
         pipeline: ExtensionPipeline | None = None,
+        directory: DirectoryConfig | None = None,
     ) -> None:
         self.node_id = node_id
         self._sim = sim
@@ -80,8 +81,9 @@ class HomeController:
         self._banks = memory._banks
         self._n_banks = memory.n_banks
         self._mem_occ = memory.access_pclocks
-        self.directory = Directory()
+        self.directory = Directory(make_directory_org(directory, n_nodes))
         self._dir_entries = self.directory._entries
+        self._make_sharers = self.directory._make_sharers
         self.locks = LockTable()
         self.barriers = BarrierTable()
         #: the node's protocol-extension pipeline (shared with the
@@ -186,7 +188,7 @@ class HomeController:
         """Process a request against a stable (non-busy) block."""
         entry = self._dir_entries.get(msg.block)
         if entry is None:
-            entry = DirectoryEntry()
+            entry = DirectoryEntry(sharers=self._make_sharers())
             self._dir_entries[msg.block] = entry
         if msg.mtype is MsgType.RD_REQ:
             self._handle_read(msg, entry, t)
@@ -369,7 +371,7 @@ class HomeController:
         if xact.kind == "fetch_read":
             entry.state = MemoryState.CLEAN
             entry.owner = None
-            entry.sharers = {req}
+            entry.reset_sharers((req,))
             if not msg.drop and xact.old_owner is not None:
                 entry.sharers.add(xact.old_owner)
         elif xact.kind == "fetchinv_read":

@@ -12,7 +12,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.config import Consistency, ProtocolConfig, SystemConfig
+from repro.config import (
+    Consistency,
+    DirectoryConfig,
+    ProtocolConfig,
+    SystemConfig,
+)
+from repro.core.directory import make_directory_org
 
 
 @dataclass(frozen=True)
@@ -45,11 +51,14 @@ def _cache_line_bits(proto: ProtocolConfig) -> int:
     return bits
 
 
-def _memory_line_bits(proto: ProtocolConfig, n_nodes: int) -> int:
-    bits = 3 + n_nodes  # 3 state bits + full-map presence vector
-    if proto.migratory:
-        bits += 1 + math.ceil(math.log2(max(n_nodes, 2)))
-    return bits
+def _memory_line_bits(
+    proto: ProtocolConfig, n_nodes: int, directory: DirectoryConfig | None = None
+) -> int:
+    # full map: 3 state bits + N presence bits; other organizations
+    # price themselves (see repro.core.directory).  M adds 1 migratory
+    # bit + a ceil(log2 N) last-writer pointer in every organization.
+    org = make_directory_org(directory, n_nodes)
+    return org.bits_per_block(migratory=proto.migratory)
 
 
 def _mechanisms(proto: ProtocolConfig) -> tuple[str, ...]:
@@ -70,13 +79,15 @@ def hardware_cost(cfg: SystemConfig) -> HardwareCost:
         extra_cache_mechanisms=_mechanisms(proto),
         slwb_entries=cfg.effective_slwb_entries,
         slwb_entry_holds_block=proto.competitive_update,
-        memory_state_bits_per_line=_memory_line_bits(proto, cfg.n_procs),
+        memory_state_bits_per_line=_memory_line_bits(
+            proto, cfg.n_procs, cfg.directory
+        ),
     )
 
 
 def directory_overhead_fraction(cfg: SystemConfig) -> float:
     """Directory bits as a fraction of a memory block's data bits."""
-    bits = _memory_line_bits(cfg.protocol, cfg.n_procs)
+    bits = _memory_line_bits(cfg.protocol, cfg.n_procs, cfg.directory)
     return bits / (cfg.cache.block_size * 8)
 
 

@@ -7,36 +7,86 @@ message of *S* bytes on *W*-bit links serializes into
 per switch; the body streams behind it, holding each link for the
 serialization time -- which is how narrow links (16-bit) saturate
 under the extra traffic of P+CW while 64-bit links do not.
+
+The paper's machine is the square 4x4 mesh, but the topology is a
+general W x H rectangle: any node count factors into the squarest
+``W >= H`` rectangle (``mesh_dims(n)``), and
+:attr:`~repro.config.NetworkConfig.mesh_dims` overrides the factoring
+for deliberately elongated meshes.  Prime counts degenerate to an
+N x 1 chain, which is still a valid (if bisection-starved) mesh.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 
 from repro.config import NetworkConfig
 from repro.sim.resource import FcfsResource
 from repro.stats.counters import NetworkStats
 
 
+def mesh_dims(n_nodes: int) -> tuple[int, int]:
+    """The squarest ``(width, height)`` factoring of ``n_nodes``.
+
+    Height is the largest divisor not exceeding ``sqrt(n)``, so square
+    counts stay square (16 -> 4x4) and the rest get the most balanced
+    rectangle available (12 -> 4x3, 8 -> 4x2, 7 -> 7x1).
+    """
+    if n_nodes < 1:
+        raise ValueError(f"mesh needs at least one node, got {n_nodes}")
+    h = int(math.isqrt(n_nodes))
+    while n_nodes % h:
+        h -= 1
+    return n_nodes // h, h
+
+
 class MeshNetwork:
     """Dimension-order wormhole mesh with per-link FCFS contention."""
 
     def __init__(self, cfg: NetworkConfig, n_nodes: int, stats: NetworkStats) -> None:
-        side = int(round(math.sqrt(n_nodes)))
-        if side * side != n_nodes:
-            raise ValueError(f"mesh needs a square node count, got {n_nodes}")
-        self._side = side
+        if cfg.mesh_dims is not None:
+            w, h = cfg.mesh_dims
+            if w < 1 or h < 1 or w * h != n_nodes:
+                raise ValueError(
+                    f"mesh_dims {cfg.mesh_dims} does not tile {n_nodes} "
+                    f"nodes; set NetworkConfig.mesh_dims to a (width, "
+                    f"height) pair with width*height == {n_nodes}"
+                )
+            self._dims = (w, h)
+        else:
+            self._dims = mesh_dims(n_nodes)
+        self._width = self._dims[0]
         self._cfg = cfg
         self._stats = stats
         self._links: dict[tuple[int, int], FcfsResource] = {}
 
     @property
+    def dims(self) -> tuple[int, int]:
+        """Mesh dimensions ``(width, height)`` (4x4 for the paper)."""
+        return self._dims
+
+    @property
     def side(self) -> int:
-        """Mesh edge length (4 for the paper's 16 nodes)."""
-        return self._side
+        """Deprecated square edge length; use :attr:`dims`.
+
+        Kept for square meshes only -- a rectangular mesh has no single
+        side, so accessing it there raises.
+        """
+        warnings.warn(
+            "MeshNetwork.side is deprecated; use MeshNetwork.dims",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        w, h = self._dims
+        if w != h:
+            raise ValueError(
+                f"mesh is {w}x{h}, not square; use MeshNetwork.dims"
+            )
+        return w
 
     def _coords(self, node: int) -> tuple[int, int]:
-        return node % self._side, node // self._side
+        return node % self._width, node // self._width
 
     def route(self, src: int, dst: int) -> list[tuple[int, int]]:
         """Dimension-order path as a list of directed (from, to) links."""
@@ -46,12 +96,12 @@ class MeshNetwork:
         cur = src
         while x != dx:
             x += 1 if dx > x else -1
-            nxt = y * self._side + x
+            nxt = y * self._width + x
             path.append((cur, nxt))
             cur = nxt
         while y != dy:
             y += 1 if dy > y else -1
-            nxt = y * self._side + x
+            nxt = y * self._width + x
             path.append((cur, nxt))
             cur = nxt
         return path

@@ -61,4 +61,5 @@ class Node:
             send,
             cfg.n_procs,
             pipeline=self.extensions,
+            directory=cfg.directory,
         )

@@ -37,6 +37,7 @@ from typing import Any, Mapping
 from repro.config import (
     CacheConfig,
     Consistency,
+    DirectoryConfig,
     NetworkConfig,
     NetworkKind,
     ProtocolConfig,
@@ -47,7 +48,8 @@ from repro.stats.counters import MachineStats
 #: bump whenever the meaning of a spec field (or a simulator default it
 #: relies on) changes; every cached result keyed under an older version
 #: becomes unreachable, which is exactly the invalidation we want.
-SPEC_SCHEMA_VERSION = 1
+#: v2: ``directory`` organization field and ``network.mesh_dims``.
+SPEC_SCHEMA_VERSION = 2
 
 #: the paper's seed; kept in one place so the API, the service layer
 #: and every experiment driver agree.
@@ -86,6 +88,7 @@ class RunSpec:
     seed: int = DEFAULT_SEED
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    directory: DirectoryConfig = field(default_factory=DirectoryConfig)
     page_placement: str = "round_robin"
     #: extra workload keyword arguments, stored as a sorted tuple of
     #: (name, value) pairs so equal dicts hash equally.
@@ -99,6 +102,10 @@ class RunSpec:
         object.__setattr__(
             self, "protocol", ProtocolConfig.from_name(self.protocol).name
         )
+        if isinstance(self.directory, str):
+            object.__setattr__(
+                self, "directory", DirectoryConfig.from_name(self.directory)
+            )
         kw = self.workload_kw
         if isinstance(kw, Mapping):
             kw = kw.items()
@@ -119,6 +126,7 @@ class RunSpec:
         n_procs: int = 16,
         scale: float = 1.0,
         seed: int = DEFAULT_SEED,
+        directory: DirectoryConfig | str | None = None,
         page_placement: str = "round_robin",
         **workload_kw: Any,
     ) -> "RunSpec":
@@ -132,6 +140,7 @@ class RunSpec:
             seed=seed,
             network=network or NetworkConfig(),
             cache=cache or CacheConfig(),
+            directory=directory if directory is not None else DirectoryConfig(),
             page_placement=page_placement,
             workload_kw=workload_kw,
         )
@@ -145,6 +154,7 @@ class RunSpec:
             consistency=Consistency(self.consistency),
             network=self.network,
             cache=self.cache,
+            directory=self.directory,
             page_placement=self.page_placement,
         ).with_protocol(self.protocol)
 
@@ -159,6 +169,7 @@ class RunSpec:
             "seed": self.seed,
             "network": _network_to_dict(self.network),
             "cache": asdict(self.cache),
+            "directory": asdict(self.directory),
             "page_placement": self.page_placement,
             "workload_kw": {k: v for k, v in self.workload_kw},
         }
@@ -175,6 +186,7 @@ class RunSpec:
             seed=d["seed"],
             network=_network_from_dict(d["network"]),
             cache=CacheConfig(**d["cache"]),
+            directory=DirectoryConfig(**d.get("directory", {})),
             page_placement=d["page_placement"],
             workload_kw=d.get("workload_kw", {}),
         )
@@ -252,6 +264,8 @@ class RunSpec:
             extras.append(f"mesh{self.network.link_width_bits}")
         if self.n_procs != 16:
             extras.append(f"{self.n_procs}p")
+        if self.directory.org != "full_map":
+            extras.append(self.directory.name)
         if self.page_placement != "round_robin":
             extras.append(self.page_placement)
         tail = f" [{','.join(extras)}]" if extras else ""

@@ -23,6 +23,8 @@ over a 4x4 processor grid, right-looking factorization:
 
 from __future__ import annotations
 
+import math
+
 from repro.config import SystemConfig
 from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
 
@@ -33,12 +35,25 @@ MBLOCK = 8
 
 def _owner(i: int, j: int, n_procs: int) -> int:
     """2-D block-cyclic placement (4x4 grid when n_procs == 16)."""
-    import math
-
     side = int(round(math.sqrt(n_procs)))
     if side * side == n_procs:
         return (i % side) * side + (j % side)
     return (i + j) % n_procs
+
+
+def block_grid_for(nb: int, n_procs: int) -> int:
+    """Matrix-block grid edge for an ``n_procs`` machine.
+
+    The default 12x12 block grid keeps a 16-processor machine busy;
+    larger machines grow the matrix with ``sqrt(n/16)`` (the standard
+    weak-scaling rule for dense factorization: blocks-per-processor
+    stays roughly constant) so 64/256 processors factor a bigger
+    matrix instead of idling on the paper-sized one.  Machines up to
+    16 processors keep the paper's grid exactly.
+    """
+    if n_procs <= 16:
+        return nb
+    return round(nb * math.sqrt(n_procs / 16))
 
 
 def streams(
@@ -49,7 +64,7 @@ def streams(
 ) -> list[list[Op]]:
     """Build one LU-like reference stream per processor."""
     n = cfg.n_procs
-    nb = scaled(nb, scale, minimum=6)
+    nb = block_grid_for(scaled(nb, scale, minimum=6), n)
 
     layout = WorkloadLayout(cfg)
     space = layout.space()

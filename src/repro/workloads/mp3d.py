@@ -21,13 +21,30 @@ Synthetic structure, per time step and particle:
 
 from __future__ import annotations
 
+import math
+
 from repro.config import SystemConfig
 from repro.workloads.base import BLOCK, Op, StreamBuilder, WorkloadLayout, scaled
 
 #: particle record size in cache blocks
 PARTICLE_BLOCKS = 3
-#: cell grid edge (cells = edge**2, one block per cell)
+#: cell grid edge at the paper's 16-processor machine
+#: (cells = edge**2, one block per cell)
 CELL_EDGE = 9
+
+
+def cell_edge_for(n_procs: int) -> int:
+    """Cell-grid edge for an ``n_procs`` machine.
+
+    The paper's 9x9 tunnel matches 16 processors; larger machines grow
+    the tunnel with ``sqrt(n/16)`` so the cells-per-processor density
+    (and hence contention per cell) stays roughly constant instead of
+    cramming 256 processors into 81 cells.  Machines up to 16
+    processors keep the paper's grid exactly.
+    """
+    if n_procs <= 16:
+        return CELL_EDGE
+    return round(CELL_EDGE * math.sqrt(n_procs / 16))
 
 
 def streams(
@@ -45,11 +62,12 @@ def streams(
     layout = WorkloadLayout(cfg)
     space = layout.space()
     page = cfg.cache.page_size
-    n_cells = CELL_EDGE * CELL_EDGE
+    cell_edge = cell_edge_for(n)
+    n_cells = cell_edge * cell_edge
     # one page per cell *row*: cells along x are adjacent blocks (the
     # true-sharing spatial locality that lets P remove some of MP3D's
     # coherence misses, §3.1) while rows spread across home nodes
-    cells_base = space.alloc_page_aligned("cells", CELL_EDGE * page)
+    cells_base = space.alloc_page_aligned("cells", cell_edge * page)
     particles_base = space.alloc_page_aligned(
         "particles", n * particles_per_proc * PARTICLE_BLOCKS * BLOCK
     )
@@ -74,14 +92,14 @@ def streams(
                 sb.think(18)
                 # random walk to a neighbouring cell, then collide:
                 # read-modify-write the cell record (migratory)
-                x, y = cell_pos[p] % CELL_EDGE, cell_pos[p] // CELL_EDGE
-                x = (x + sb.rng.choice((-1, 0, 1))) % CELL_EDGE
-                y = (y + sb.rng.choice((-1, 0, 1))) % CELL_EDGE
-                cell_pos[p] = y * CELL_EDGE + x
+                x, y = cell_pos[p] % cell_edge, cell_pos[p] // cell_edge
+                x = (x + sb.rng.choice((-1, 0, 1))) % cell_edge
+                y = (y + sb.rng.choice((-1, 0, 1))) % cell_edge
+                cell_pos[p] = y * cell_edge + x
                 cell_addr = (
                     cells_base
-                    + (cell_pos[p] // CELL_EDGE) * page
-                    + (cell_pos[p] % CELL_EDGE) * BLOCK
+                    + (cell_pos[p] // cell_edge) * page
+                    + (cell_pos[p] % cell_edge) * BLOCK
                 )
                 sb.rmw(cell_addr, think=8)
                 # write back position and velocity (2 blocks)

@@ -124,7 +124,9 @@ class TestSerialization:
         assert d["app"] == "water"
         assert d["protocol"] == "P"
         assert d["execution_time"] == s.execution_time
-        assert d["spec"]["v"] == 1
+        from repro.sweep import SPEC_SCHEMA_VERSION
+
+        assert d["spec"]["v"] == SPEC_SCHEMA_VERSION
         assert "stats" not in d, "full stats only on request"
         import json
 

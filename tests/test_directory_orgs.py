@@ -1,0 +1,229 @@
+"""Directory organizations: unit semantics + full-map parity.
+
+Two layers of coverage for :mod:`repro.core.directory`:
+
+* unit tests of the believed-sharer semantics -- Dir_i-B's broadcast
+  fallback and exact-knowledge reset, the coarse vector's region
+  over-approximation -- plus the per-organization storage costs and
+  the invariant checker's representability hook;
+* a parity sweep over the 16-cell golden grid: an inexact organization
+  operating in its *exact regime* (limited pointers >= the processor
+  count, coarse regions of one node) must be counter-for-counter
+  identical to the full map, because no add can ever over-approximate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import DirectoryConfig, SystemConfig
+from repro.core.directory import (
+    CoarseVectorOrg,
+    Directory,
+    FullMapOrg,
+    LimitedPointerOrg,
+    make_directory_org,
+)
+from repro.core.invariants import check_all
+from repro.system import System
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "extension_parity.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+class TestDirectoryConfig:
+    def test_from_name_variants(self):
+        assert DirectoryConfig.from_name("full_map").org == "full_map"
+        cfg = DirectoryConfig.from_name("limited:3")
+        assert (cfg.org, cfg.pointers) == ("limited", 3)
+        cfg = DirectoryConfig.from_name("coarse:8")
+        assert (cfg.org, cfg.region_size) == ("coarse", 8)
+
+    def test_name_round_trips(self):
+        for name in ("full_map", "limited:2", "coarse:4"):
+            assert DirectoryConfig.from_name(name).name == name
+
+    def test_rejects_unknown_org(self):
+        with pytest.raises(ValueError):
+            DirectoryConfig(org="chained")
+
+
+class TestLimitedPointerOrg:
+    def make(self, n_nodes=8, pointers=2):
+        org = LimitedPointerOrg(n_nodes, pointers=pointers)
+        return org, Directory(org).entry(0)
+
+    def test_exact_below_pointer_budget(self):
+        org, entry = self.make()
+        entry.sharers.add(1)
+        entry.sharers.add(5)
+        assert entry.sharers == {1, 5}
+        assert not entry.sharers.overflowed
+        entry.sharers.discard(5)
+        assert entry.sharers == {1}
+
+    def test_overflow_broadcasts_to_all_nodes(self):
+        org, entry = self.make()
+        for node in (1, 5, 6):
+            entry.sharers.add(node)
+        assert entry.sharers.overflowed
+        assert entry.sharers == set(range(8)), \
+            "broadcast fallback must believe every node holds a copy"
+        assert org.overflows == 1
+
+    def test_overflowed_entry_ignores_removals(self):
+        org, entry = self.make()
+        for node in (1, 5, 6):
+            entry.sharers.add(node)
+        entry.sharers.discard(5)      # replacement hint: no pointer left
+        entry.sharers -= {1, 6}
+        assert entry.sharers == set(range(8))
+
+    def test_invalidation_round_restores_exactness(self):
+        org, entry = self.make()
+        for node in (1, 5, 6):
+            entry.sharers.add(node)
+        entry.sharers &= {5}          # every believed holder was INVed
+        assert entry.sharers == {5}
+        assert not entry.sharers.overflowed
+        entry.reset_sharers((2,))
+        assert entry.sharers == {2}
+        assert not entry.sharers.overflowed
+
+    def test_representable(self):
+        org, entry = self.make()
+        entry.sharers.add(1)
+        assert org.representable(entry.sharers)
+        for node in (5, 6):
+            entry.sharers.add(node)
+        assert org.representable(entry.sharers)  # broadcast state
+        assert not org.representable({1, 5, 6})  # 3 plain pointers > i=2
+
+    def test_storage_cost(self):
+        # 3 state + 1 broadcast + i * ceil(log2 N) pointer bits
+        assert LimitedPointerOrg(64, pointers=4).bits_per_block() == 4 + 4 * 6
+        assert LimitedPointerOrg(256, pointers=4).bits_per_block() == 4 + 4 * 8
+        # M: + migratory bit + last-writer pointer
+        assert LimitedPointerOrg(64, pointers=4).bits_per_block(True) \
+            == 4 + 4 * 6 + 1 + 6
+
+
+class TestCoarseVectorOrg:
+    def make(self, n_nodes=8, region=4):
+        org = CoarseVectorOrg(n_nodes, region_size=region)
+        return org, Directory(org).entry(0)
+
+    def test_add_materializes_the_region(self):
+        org, entry = self.make()
+        entry.sharers.add(5)
+        assert entry.sharers == {4, 5, 6, 7}, \
+            "one region bit stands for all four nodes"
+
+    def test_partial_region_removals_are_ignored(self):
+        org, entry = self.make()
+        entry.sharers.add(5)
+        entry.sharers.discard(4)
+        entry.sharers -= {6, 7}
+        assert entry.sharers == {4, 5, 6, 7}
+
+    def test_invalidation_reencodes_survivor_regions(self):
+        org, entry = self.make()
+        entry.sharers.add(1)
+        entry.sharers.add(5)
+        entry.sharers &= {5}          # region 0-3 fully invalidated
+        assert entry.sharers == {4, 5, 6, 7}
+
+    def test_region_clamped_to_node_count(self):
+        org, entry = self.make(n_nodes=10, region=4)
+        entry.sharers.add(9)
+        assert entry.sharers == {8, 9}
+        assert org.representable(entry.sharers)
+
+    def test_region_of_one_is_a_full_map(self):
+        org, entry = self.make(region=1)
+        assert org.exact
+        entry.sharers.add(3)
+        entry.sharers.add(6)
+        entry.sharers.discard(6)
+        assert entry.sharers == {3}
+
+    def test_representable(self):
+        org, _ = self.make()
+        assert org.representable({4, 5, 6, 7})
+        assert not org.representable({4, 5})
+
+    def test_storage_cost(self):
+        # 3 state bits + ceil(N/K) region bits
+        assert CoarseVectorOrg(256, region_size=4).bits_per_block() == 3 + 64
+        assert CoarseVectorOrg(64, region_size=8).bits_per_block() == 3 + 8
+
+
+class TestMakeDirectoryOrg:
+    def test_factory_dispatch(self):
+        assert isinstance(make_directory_org(None, 16), FullMapOrg)
+        assert isinstance(
+            make_directory_org(DirectoryConfig(), 16), FullMapOrg
+        )
+        org = make_directory_org(
+            DirectoryConfig(org="limited", pointers=3), 16
+        )
+        assert isinstance(org, LimitedPointerOrg) and org.pointers == 3
+        org = make_directory_org(
+            DirectoryConfig(org="coarse", region_size=2), 16
+        )
+        assert isinstance(org, CoarseVectorOrg) and org.region_size == 2
+
+
+def _run_cell(cell: str, directory: str):
+    expected = GOLDEN[cell]
+    cfg = SystemConfig(
+        n_procs=expected["n_procs"],
+        directory=DirectoryConfig.from_name(directory),
+    ).with_protocol(expected["protocol"])
+    streams = build_workload(expected["app"], cfg, scale=expected["scale"])
+    system = System(cfg)
+    stats = system.run(streams)
+    return system, stats, expected
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDEN), ids=str)
+@pytest.mark.parametrize("directory", ["limited:8", "coarse:1"])
+def test_exact_regime_matches_full_map_golden(cell: str, directory: str):
+    """i >= n_procs pointers / K=1 regions never over-approximate, so
+    the run must be bit-identical to the recorded full-map golden."""
+    system, stats, expected = _run_cell(cell, directory)
+    assert stats.to_dict() == expected["stats"]
+    assert system.sim.events_fired == expected["events_fired"]
+
+
+@pytest.mark.parametrize("directory", ["limited:1", "limited:2", "coarse:4"])
+@pytest.mark.parametrize("protocol", ["BASIC", "P+CW", "P+M"])
+def test_inexact_orgs_stay_coherent(directory: str, protocol: str):
+    """Over-approximating organizations still satisfy every invariant
+    (including representability) at quiescence."""
+    cfg = SystemConfig(
+        n_procs=8, directory=DirectoryConfig.from_name(directory)
+    ).with_protocol(protocol)
+    streams = build_workload("mp3d", cfg, scale=0.25)
+    system = System(cfg)
+    stats = system.run(streams)
+    check_all(system)
+    assert stats.execution_time > 0
+
+
+def test_broadcast_costs_performance():
+    """A one-pointer directory fans invalidations out to everyone; the
+    widely-read-shared data in water must run slower than full map."""
+
+    def time_with(directory):
+        cfg = SystemConfig(
+            n_procs=16, directory=DirectoryConfig.from_name(directory)
+        ).with_protocol("BASIC")
+        streams = build_workload("water", cfg, scale=0.2)
+        return System(cfg).run(streams).execution_time
+
+    assert time_with("limited:1") > time_with("full_map")

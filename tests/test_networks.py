@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.config import NetworkConfig, NetworkKind
 from repro.network import build_network
-from repro.network.mesh import MeshNetwork
+from repro.network.mesh import MeshNetwork, mesh_dims
 from repro.network.uniform import UniformNetwork
 from repro.stats.counters import NetworkStats
 
@@ -46,9 +46,44 @@ class TestUniform:
 
 
 class TestMeshRouting:
-    def test_needs_square_node_count(self):
-        with pytest.raises(ValueError):
-            make_mesh(n=12)
+    def test_non_square_counts_factor_into_rectangles(self):
+        net, _ = make_mesh(n=12)
+        assert net.dims == (4, 3)
+        assert mesh_dims(16) == (4, 4)
+        assert mesh_dims(8) == (4, 2)
+        assert mesh_dims(7) == (7, 1)  # prime: N x 1 chain
+        assert mesh_dims(256) == (16, 16)
+
+    def test_mesh_dims_override(self):
+        stats = NetworkStats()
+        cfg = NetworkConfig(kind=NetworkKind.MESH, mesh_dims=(6, 2))
+        net = MeshNetwork(cfg, 12, stats)
+        assert net.dims == (6, 2)
+
+    def test_bad_mesh_dims_error_names_the_knob(self):
+        stats = NetworkStats()
+        cfg = NetworkConfig(kind=NetworkKind.MESH, mesh_dims=(5, 2))
+        with pytest.raises(ValueError, match="mesh_dims"):
+            MeshNetwork(cfg, 12, stats)
+
+    def test_side_is_deprecated(self):
+        net, _ = make_mesh(n=16)
+        with pytest.warns(DeprecationWarning):
+            assert net.side == 4
+        rect, _ = make_mesh(n=12)
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            rect.side
+
+    def test_rectangular_route_stays_in_bounds(self):
+        net, _ = make_mesh(n=12)  # 4x3
+        for src in range(12):
+            for dst in range(12):
+                cur = src
+                for a, b in net.route(src, dst):
+                    assert a == cur
+                    assert 0 <= b < 12
+                    cur = b
+                assert cur == dst
 
     def test_dimension_order_route(self):
         net, _ = make_mesh()

@@ -4,9 +4,11 @@ from repro.experiments import scaling
 
 
 def test_runs_at_tiny_scale():
-    data = scaling.run(app="water", scale=0.3, sizes=(4, 9))
-    assert set(data) == {4, 9}
-    for n, per_proto in data.items():
+    data = scaling.run(app="water", scale=0.3, sizes=(4, 9),
+                       directories=("full_map",))
+    assert set(data) == {"full_map"}
+    assert set(data["full_map"]) == {4, 9}
+    for n, per_proto in data["full_map"].items():
         assert set(per_proto) == set(scaling.PROTOCOLS)
         exec_time, rel, net = per_proto["BASIC"]
         assert exec_time > 0
@@ -14,11 +16,32 @@ def test_runs_at_tiny_scale():
         assert net >= 0
 
 
+def test_runs_with_scalable_directory():
+    data = scaling.run(app="water", scale=0.3, sizes=(4,),
+                       directories=("full_map", "limited:2"),
+                       protocols=("BASIC", "P"))
+    assert set(data) == {"full_map", "limited:2"}
+    for per_size in data.values():
+        for per_proto in per_size.values():
+            assert per_proto["BASIC"][0] > 0
+
+
 def test_render_contains_sizes():
-    data = scaling.run(app="water", scale=0.3, sizes=(4, 9))
+    data = scaling.run(app="water", scale=0.3, sizes=(4, 9),
+                       directories=("full_map",))
     text = scaling.render(data, app="water")
     assert "4 procs" in text and "9 procs" in text
     assert "P+CW" in text
+    assert "speedup" in text
+
+
+def test_render_storage_table():
+    text = scaling.render_storage((4, 16, 64, 256),
+                                  ("full_map", "limited:4", "coarse:4"))
+    assert "256 procs" in text
+    assert "full_map" in text and "limited:4" in text
+    # full map at 256 procs: 3 + 256 BASIC bits
+    assert "259" in text
 
 
 def test_workloads_shrink_with_fewer_processors():
@@ -29,3 +52,18 @@ def test_workloads_shrink_with_fewer_processors():
     large = build_workload("water", SystemConfig(n_procs=16), scale=0.3)
     assert len(small) == 4
     assert len(large) == 16
+
+
+def test_workloads_grow_past_sixteen_processors():
+    from repro.workloads.lu import block_grid_for
+    from repro.workloads.mp3d import CELL_EDGE, cell_edge_for
+
+    # machines up to the paper's size keep the paper's working set
+    assert cell_edge_for(4) == CELL_EDGE
+    assert cell_edge_for(16) == CELL_EDGE
+    assert block_grid_for(12, 16) == 12
+    # larger machines grow it with sqrt(n/16)
+    assert cell_edge_for(64) == 2 * CELL_EDGE
+    assert cell_edge_for(256) == 4 * CELL_EDGE
+    assert block_grid_for(12, 64) == 24
+    assert block_grid_for(12, 256) == 48

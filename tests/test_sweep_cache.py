@@ -3,7 +3,13 @@
 import json
 import os
 
-from repro.sweep import ResultCache, RunResult, RunSpec, execute_spec
+from repro.sweep import (
+    SPEC_SCHEMA_VERSION,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    execute_spec,
+)
 from repro.sweep.cache import CACHE_SCHEMA_VERSION
 
 SPEC = RunSpec.for_run("water", scale=0.2, n_procs=4)
@@ -201,7 +207,7 @@ class TestGetByKey:
         payload = cache.get_by_key(SPEC.key())
         assert payload is not None
         assert payload["spec_key"] == SPEC.key()
-        assert payload["spec"]["v"] == 1
+        assert payload["spec"]["v"] == SPEC_SCHEMA_VERSION
         assert RunSpec.from_wire(payload["spec"]) == SPEC
         assert payload["stats"] == result.stats.to_dict()
 
