@@ -14,7 +14,10 @@ Subcommands:
 * ``experiments`` -- dispatch to the table/figure drivers,
 * ``serve``       -- run the sweep service (HTTP API over the engine),
 * ``submit``      -- send a sweep to a running service and print the
-  ranking when it completes.
+  ranking when it completes,
+* ``verify``      -- protocol verification: bounded model checking
+  (``verify model``), seeded invariant fuzzing (``verify fuzz``) and
+  the static extension-metadata lint (``verify registry``).
 """
 
 from __future__ import annotations
@@ -335,6 +338,132 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def _stderr_progress(msg: str) -> None:
+    print(msg, file=sys.stderr, flush=True)
+
+
+def cmd_verify_model(args) -> int:
+    """Bounded model checking: one combo, or the registry matrix."""
+    from repro.verify import (
+        VerifyConfig,
+        check_model,
+        matrix_configs,
+        verify_matrix,
+    )
+
+    progress = _stderr_progress if args.progress else None
+    if args.extensions:
+        cfg = VerifyConfig(
+            n_nodes=args.nodes,
+            n_blocks=args.blocks,
+            depth=args.depth,
+            extensions=args.extensions,
+            directory=args.directory or "full_map",
+            consistency=Consistency(args.consistency or "RC"),
+            max_states=args.max_states,
+            symmetry=not args.no_symmetry,
+        )
+        results = [check_model(cfg, progress=progress)]
+        show_coverage = not args.no_coverage
+    else:
+        kw = {}
+        if args.directory:
+            kw["directories"] = (args.directory,)
+        if args.consistency:
+            kw["consistencies"] = (Consistency(args.consistency),)
+        configs = matrix_configs(
+            n_nodes=args.nodes,
+            n_blocks=args.blocks,
+            depth=args.depth,
+            max_states=args.max_states,
+            symmetry=not args.no_symmetry,
+            **kw,
+        )
+        results = verify_matrix(configs, progress=progress)
+        show_coverage = args.coverage
+    for res in results:
+        print(res.summary())
+        if show_coverage:
+            for line in res.coverage.report_lines():
+                print(f"  {line}")
+    failures = [res for res in results if not res.ok]
+    for res in failures:
+        print()
+        print(res.violation.describe())
+    checked = len(results)
+    states = sum(res.explored for res in results)
+    print(
+        f"verify model: {checked} config(s), {states} states, "
+        f"{len(failures)} violation(s)"
+    )
+    return 1 if failures else 0
+
+
+def cmd_verify_fuzz(args) -> int:
+    """Seeded long-run invariant fuzzing with shrinking."""
+    from repro.verify import run_fuzz
+
+    result = run_fuzz(
+        seed=args.seed,
+        trials=args.trials,
+        nops=args.ops,
+        max_events=args.max_events,
+        shrink=not args.no_shrink,
+        progress=_stderr_progress,
+    )
+    if result.ok:
+        print(
+            f"verify fuzz: {result.trials} trial(s) ok "
+            f"(seed {args.seed}, {args.ops} ops/proc)"
+        )
+        return 0
+    for failure in result.failures:
+        cfg = failure.config
+        print(
+            f"trial {failure.trial} FAILED (seed {failure.seed}): "
+            f"{failure.error}"
+        )
+        print(
+            f"  config: {cfg.protocol.name} / {cfg.directory.name} / "
+            f"{cfg.consistency.value}, {cfg.n_procs} procs"
+        )
+        for pid, stream in enumerate(failure.streams):
+            if len(stream) > 1:
+                print(f"  proc {pid}: {stream}")
+    return 1
+
+
+def cmd_verify_registry(args) -> int:
+    """Static lint of the extension registry's metadata."""
+    from repro.core.extensions import (
+        RegistryError,
+        registered_extensions,
+        validate_registry,
+    )
+
+    try:
+        validate_registry()
+    except RegistryError as exc:
+        print(exc)
+        return 1
+    infos = registered_extensions()
+    rows = [
+        (
+            info.name,
+            info.order,
+            ",".join(sorted(info.conflicts)) or "-",
+            ",".join(sorted(info.traits)) or "-",
+        )
+        for info in infos
+    ]
+    print(render_table(
+        ("name", "order", "conflicts", "traits"),
+        rows,
+        title=f"registry ok: {len(infos)} extensions, metadata consistent",
+    ))
+    return 0
+
+
 def cmd_experiments(args) -> int:
     """Dispatch to a table/figure driver."""
     from repro.experiments import (
@@ -519,6 +648,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for the sweep to finish",
     )
     p_sub.set_defaults(fn=cmd_submit)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="protocol verification (model checker / fuzzer / registry)",
+    )
+    vsub = p_ver.add_subparsers(dest="verify_command", required=True)
+
+    p_vm = vsub.add_parser(
+        "model",
+        help="bounded model checking of small configurations",
+        description=(
+            "Exhaustively explore every interleaving of a small op "
+            "alphabet on a tiny machine, asserting the coherence "
+            "invariants at every visited state.  With --extensions, "
+            "check that one combination; without it, sweep the full "
+            "registry cross-product of conflict-free combinations x "
+            "directory organizations x consistency models."
+        ),
+    )
+    p_vm.add_argument("--nodes", type=int, default=2, metavar="N",
+                      help="nodes in the model (default: %(default)s)")
+    p_vm.add_argument("--blocks", type=int, default=1, metavar="N",
+                      help="logical blocks (default: %(default)s)")
+    p_vm.add_argument("--depth", type=int, default=4, metavar="N",
+                      help="op-sequence depth bound (default: %(default)s)")
+    p_vm.add_argument(
+        "--extensions", metavar="COMBO",
+        help=(
+            "extension combination to check ('p,cw,m', 'PF+M', ...); "
+            "omit to sweep the full registry cross-product"
+        ),
+    )
+    p_vm.add_argument(
+        "--directory", metavar="ORG",
+        help=(
+            "directory organization: full_map, limited[:i] or "
+            "coarse[:k] (default: full_map; matrix mode sweeps "
+            "full_map, limited:1 and coarse:2)"
+        ),
+    )
+    p_vm.add_argument(
+        "--consistency", choices=("RC", "SC"),
+        help="consistency model (default: RC; matrix mode sweeps both)",
+    )
+    p_vm.add_argument(
+        "--max-states", type=int, default=50_000, metavar="N",
+        help="stop after this many canonical states (default: %(default)s)",
+    )
+    p_vm.add_argument(
+        "--no-symmetry", action="store_true",
+        help="disable state dedup modulo node renaming",
+    )
+    p_vm.add_argument(
+        "--coverage", action="store_true",
+        help="print the full coverage listing per matrix combo",
+    )
+    p_vm.add_argument(
+        "--no-coverage", action="store_true",
+        help="suppress the coverage listing in single-combo mode",
+    )
+    p_vm.add_argument(
+        "--progress", action="store_true",
+        help="report exploration progress on stderr",
+    )
+    p_vm.set_defaults(fn=cmd_verify_model)
+
+    p_vf = vsub.add_parser(
+        "fuzz",
+        help="seeded long-run invariant fuzzing",
+        description=(
+            "Run long random reference streams on randomized machine "
+            "configurations; failures are shrunk by greedy stream "
+            "deletion and reported as replayable reproductions."
+        ),
+    )
+    p_vf.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default: %(default)s)")
+    p_vf.add_argument("--trials", type=int, default=5, metavar="N",
+                      help="randomized trials (default: %(default)s)")
+    p_vf.add_argument("--ops", type=int, default=5000, metavar="N",
+                      help="ops per processor stream (default: %(default)s)")
+    p_vf.add_argument(
+        "--max-events", type=int, default=80_000_000, metavar="N",
+        help="per-trial simulator event budget (default: %(default)s)",
+    )
+    p_vf.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without shrinking them",
+    )
+    p_vf.set_defaults(fn=cmd_verify_fuzz)
+
+    p_vr = vsub.add_parser(
+        "registry",
+        help="static lint of the extension registry's metadata",
+    )
+    p_vr.set_defaults(fn=cmd_verify_registry)
 
     p_ex = sub.add_parser("experiments", help="run a table/figure driver")
     p_ex.add_argument(

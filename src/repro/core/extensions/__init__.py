@@ -18,13 +18,16 @@ user-facing re-exports from here:
 
 from repro.core.extensions.base import ExtensionPipeline, ProtocolExtension
 from repro.core.extensions.registry import (
+    KNOWN_TRAITS,
     ExtensionInfo,
+    RegistryError,
     UnknownExtensionError,
     build_pipeline,
     extension_info,
     register_extension,
     registered_extensions,
     resolve_names,
+    validate_registry,
 )
 
 # importing the built-in extension modules registers them
@@ -33,7 +36,14 @@ from repro.core.extensions.fixed_prefetch import FixedPrefetchExtension
 from repro.core.extensions.competitive_ext import CompetitiveExtension
 from repro.core.extensions.migratory_ext import MigratoryExtension
 
+# lint the assembled registry: conflict symmetry can only be judged
+# once every built-in has registered (P conflicts with PF, which
+# registers later), so the check lives here rather than in
+# ``register_extension``.
+validate_registry()
+
 __all__ = [
+    "KNOWN_TRAITS",
     "CompetitiveExtension",
     "ExtensionInfo",
     "ExtensionPipeline",
@@ -41,10 +51,12 @@ __all__ = [
     "MigratoryExtension",
     "PrefetchExtension",
     "ProtocolExtension",
+    "RegistryError",
     "UnknownExtensionError",
     "build_pipeline",
     "extension_info",
     "register_extension",
     "registered_extensions",
     "resolve_names",
+    "validate_registry",
 ]

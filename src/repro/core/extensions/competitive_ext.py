@@ -461,6 +461,6 @@ register_extension(
         factory=CompetitiveExtension,
         enabled=lambda proto: proto.competitive_update,
         config_cls=CompetitiveConfig,
-        traits=frozenset({"requires_rc"}),
+        traits=frozenset({"requires_rc", "sync_sensitive"}),
     )
 )

@@ -44,6 +44,6 @@ register_extension(
         enabled=lambda proto: "PF" in proto.extra,
         config_cls=PrefetchConfig,
         conflicts=frozenset({"P"}),
-        traits=frozenset({"prefetch"}),
+        traits=frozenset({"prefetch", "speculative_reads"}),
     )
 )

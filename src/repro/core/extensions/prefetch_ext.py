@@ -97,6 +97,7 @@ register_extension(
         factory=lambda proto: PrefetchExtension(proto.prefetch_params),
         enabled=lambda proto: proto.prefetch,
         config_cls=PrefetchConfig,
-        traits=frozenset({"prefetch"}),
+        conflicts=frozenset({"PF"}),
+        traits=frozenset({"prefetch", "speculative_reads"}),
     )
 )

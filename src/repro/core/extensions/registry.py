@@ -41,6 +41,28 @@ class UnknownExtensionError(ValueError):
         self.name = name
 
 
+class RegistryError(ValueError):
+    """The extension registry's metadata is inconsistent (lint failure)."""
+
+
+#: the machine-readable capability/verification traits an extension may
+#: declare.  ``validate_registry`` rejects unknown names, so a typo in a
+#: drop-in's metadata fails at import time instead of silently disabling
+#: the behavior keyed on the trait.
+#:
+#: * ``prefetch`` -- uses the deeper SLWB budget (timing/config code);
+#: * ``requires_rc`` -- invalid under sequential consistency;
+#: * ``sync_sensitive`` -- has release/acquire-coupled behavior, so the
+#:   model checker (:mod:`repro.verify`) adds lock/unlock operations to
+#:   its alphabet when the combination is verified;
+#: * ``speculative_reads`` -- issues non-demand read requests
+#:   (prefetches), so verified state spaces include blocks the driving
+#:   operations never named.
+KNOWN_TRAITS = frozenset(
+    {"prefetch", "requires_rc", "sync_sensitive", "speculative_reads"}
+)
+
+
 @dataclass(frozen=True)
 class ExtensionInfo:
     """Registry record for one protocol extension."""
@@ -110,6 +132,63 @@ def resolve_names(names: Iterable[str]) -> tuple[str, ...]:
                 f"{sorted(hit)}"
             )
     return tuple(i.name for i in registered_extensions() if i.name in chosen)
+
+
+def validate_registry(
+    registry: "dict[str, ExtensionInfo] | None" = None,
+) -> None:
+    """Lint the extension metadata; raise :class:`RegistryError` on rot.
+
+    Checked properties (each with a dedicated unit test):
+
+    * every ``conflicts`` name resolves to a registered extension;
+    * conflict declarations are symmetric (A conflicts B ⇒ B conflicts
+      A), so ``resolve_names`` rejects a bad combination no matter
+      which member the user names first;
+    * ``order`` values are unique, so the pipeline dispatch order never
+      depends on the alphabetical tiebreak;
+    * every declared trait is in :data:`KNOWN_TRAITS`.
+
+    Runs against the live registry at the end of
+    :mod:`repro.core.extensions` import (after every built-in has
+    registered), so a drop-in with rotten metadata fails fast.  Tests
+    pass an explicit ``registry`` mapping to exercise violation
+    classes without touching the global one.
+    """
+    reg = _REGISTRY if registry is None else registry
+    problems: list[str] = []
+    by_order: dict[int, list[str]] = {}
+    for key, info in reg.items():
+        by_order.setdefault(info.order, []).append(key)
+        for trait in sorted(info.traits):
+            if trait not in KNOWN_TRAITS:
+                problems.append(
+                    f"extension {key!r} declares unknown trait {trait!r}; "
+                    f"known traits: {sorted(KNOWN_TRAITS)}"
+                )
+        for conflict in sorted(info.conflicts):
+            other = reg.get(conflict.upper())
+            if other is None:
+                problems.append(
+                    f"extension {key!r} declares a conflict with "
+                    f"unregistered extension {conflict!r}"
+                )
+            elif key not in {c.upper() for c in other.conflicts}:
+                problems.append(
+                    f"conflict between {key!r} and {conflict.upper()!r} "
+                    f"is not symmetric: {conflict.upper()!r} does not "
+                    f"declare {key!r} back"
+                )
+    for order, keys in sorted(by_order.items()):
+        if len(keys) > 1:
+            problems.append(
+                f"extensions {sorted(keys)} share pipeline order {order}"
+            )
+    if problems:
+        raise RegistryError(
+            "extension registry metadata is inconsistent:\n  - "
+            + "\n  - ".join(problems)
+        )
 
 
 def build_pipeline(protocol: "ProtocolConfig") -> ExtensionPipeline:

@@ -26,6 +26,15 @@ Checked invariants:
   SLC;
 * **quiescence** -- no pending reads/writes/flushes remain in any
   cache controller and no transactions remain at any home.
+
+Two granularities are exposed:
+
+* :func:`check_all` -- the full battery, valid only at quiescence
+  (directory agreement assumes no transaction is mid-flight);
+* :func:`check_safety` -- the mid-flight-safe subset (SWMR +
+  inclusion), which must hold *between any two simulator events*, even
+  while transactions are in transit.  The model checker in
+  :mod:`repro.verify` calls it after every event it steps through.
 """
 
 from __future__ import annotations
@@ -72,7 +81,7 @@ def check_inclusion(system: System) -> None:
 
 
 def _holders(system: System, block: int) -> dict[int, CacheState]:
-    holders = {}
+    holders: dict[int, CacheState] = {}
     for node in system.nodes:
         line = node.cache.slc.lookup(block)
         if line is not None:
@@ -80,8 +89,65 @@ def _holders(system: System, block: int) -> dict[int, CacheState]:
     return holders
 
 
+def _check_swmr_block(block: int, holders: dict[int, CacheState]) -> None:
+    exclusive = [
+        n for n, st in holders.items()
+        if st in (CacheState.DIRTY, CacheState.MIG_CLEAN)
+    ]
+    if len(exclusive) > 1:
+        raise InvariantViolation(
+            f"block {block}: multiple exclusive holders {exclusive}"
+        )
+    if exclusive and len(holders) > 1:
+        raise InvariantViolation(
+            f"block {block}: exclusive holder {exclusive[0]} "
+            f"coexists with copies at {sorted(holders)}"
+        )
+
+
+def check_swmr(system: System) -> None:
+    """Single-writer/multiple-readers over every block cached anywhere.
+
+    Unlike :func:`check_coherence` this sweeps the *caches*, not the
+    directories, so it needs no directory state and holds at every
+    instant of a run -- not just at quiescence.
+    """
+    holders_by_block: dict[int, dict[int, CacheState]] = {}
+    for node in system.nodes:
+        for line in node.cache.slc.resident_lines():
+            holders_by_block.setdefault(line.block, {})[node.node_id] = (
+                line.state
+            )
+    for block, holders in holders_by_block.items():
+        _check_swmr_block(block, holders)
+
+
+def check_safety(system: System) -> None:
+    """The mid-flight-safe invariant subset (SWMR + inclusion).
+
+    Both properties must hold between any two simulator events, even
+    while coherence transactions are in flight; the directory-agreement
+    and quiescence checks do not, so they stay in :func:`check_all`.
+    """
+    check_swmr(system)
+    check_inclusion(system)
+
+
 def check_coherence(system: System) -> None:
-    """SWMR + directory agreement for every block with directory state."""
+    """SWMR + directory agreement for every block with directory state,
+    plus a reverse sweep: every resident SLC line is known to its home
+    directory (a cached block the directory dropped -- or never
+    recorded -- is a protocol bug the forward sweep cannot see)."""
+    for node in system.nodes:
+        cache = node.cache
+        for line in cache.slc.resident_lines():
+            home = system.nodes[cache._home_of(line.block)].home
+            if line.block not in home.directory:
+                raise InvariantViolation(
+                    f"node {node.node_id}: SLC holds block {line.block} "
+                    f"({line.state.value}) unknown to its home directory "
+                    f"at node {home.node_id}"
+                )
     for node in system.nodes:
         home = node.home
         for block in home.directory.known_blocks():
@@ -91,15 +157,7 @@ def check_coherence(system: System) -> None:
                 n for n, st in holders.items()
                 if st in (CacheState.DIRTY, CacheState.MIG_CLEAN)
             ]
-            if len(exclusive) > 1:
-                raise InvariantViolation(
-                    f"block {block}: multiple exclusive holders {exclusive}"
-                )
-            if exclusive and len(holders) > 1:
-                raise InvariantViolation(
-                    f"block {block}: exclusive holder {exclusive[0]} "
-                    f"coexists with copies at {sorted(holders)}"
-                )
+            _check_swmr_block(block, holders)
             if entry.state is MemoryState.MODIFIED:
                 if not exclusive or exclusive[0] != entry.owner:
                     raise InvariantViolation(

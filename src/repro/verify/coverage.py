@@ -1,0 +1,92 @@
+"""Transition-coverage accounting for the model checker.
+
+A bounded exploration is only as convincing as the protocol surface it
+actually exercised, so every run keeps two sets of FSM state×event
+pairs:
+
+* **directory side** -- ``(MemoryState, MsgType)`` observed by a home
+  controller's ``process_request`` (instrumented per instance; the
+  home always dispatches through ``self.process_request``, so wrapping
+  the attribute intercepts both fresh deliveries and the drain of the
+  pending queue);
+* **requester side** -- ``(CacheState-or-INVALID, op kind)`` recorded
+  at operation granularity by the stepper (the cache-side message
+  handlers are resolved once at ``System`` construction, so they
+  cannot be intercepted per instance).
+
+The per-combo report prints the reached pairs sorted, which makes the
+*unreached* ones -- dead states, unexplored events -- visible by
+omission.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.messages import Message, MsgType
+from repro.core.states import MemoryState
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.home import HomeController
+    from repro.system import System
+
+
+class CoverageTracker:
+    """Reached FSM state×event pairs, shared across an exploration."""
+
+    def __init__(self) -> None:
+        #: directory transitions: (memory-state name, message name).
+        self.directory: set[tuple[str, str]] = set()
+        #: requester transitions: (cache-line state name, op kind).
+        self.requester: set[tuple[str, str]] = set()
+
+    # -- recording -----------------------------------------------------
+
+    def record_home(self, state: MemoryState, mtype: MsgType) -> None:
+        self.directory.add((state.name, MsgType(mtype).name))
+
+    def record_op(self, line_state: str, op_kind: str) -> None:
+        self.requester.add((line_state, op_kind))
+
+    def instrument(self, system: "System") -> None:
+        """Wrap every home's ``process_request`` to record transitions."""
+        for node in system.nodes:
+            self._instrument_home(node.home)
+
+    def _instrument_home(self, home: "HomeController") -> None:
+        orig = home.process_request
+
+        def recording_process_request(msg: Message, t: int) -> None:
+            entry = home._dir_entries.get(msg.block)
+            state = MemoryState.CLEAN if entry is None else entry.state
+            self.record_home(state, msg.mtype)
+            orig(msg, t)
+
+        # instance attribute shadows the bound method; the home always
+        # calls ``self.process_request`` dynamically.
+        home.process_request = recording_process_request  # type: ignore[method-assign]
+
+    # -- aggregation / reporting ---------------------------------------
+
+    def merge(self, other: "CoverageTracker") -> None:
+        self.directory |= other.directory
+        self.requester |= other.requester
+
+    @property
+    def pairs(self) -> int:
+        """Total number of distinct state×event pairs reached."""
+        return len(self.directory) + len(self.requester)
+
+    def report_lines(self) -> list[str]:
+        """Human-readable coverage listing (sorted, one pair a line)."""
+        lines = [f"directory transitions reached: {len(self.directory)}"]
+        lines += [
+            f"  {state:10s} x {event}"
+            for state, event in sorted(self.directory)
+        ]
+        lines.append(f"requester transitions reached: {len(self.requester)}")
+        lines += [
+            f"  {state:10s} x {event}"
+            for state, event in sorted(self.requester)
+        ]
+        return lines

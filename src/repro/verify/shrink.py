@@ -1,0 +1,49 @@
+"""Counterexample shrinking (greedy op-deletion).
+
+A violating sequence found by the explorer or fuzzer is usually padded
+with ops that set up cache/directory state the bug does not need.  The
+shrinkers below repeatedly delete parts of the input while a caller-
+supplied *failure predicate* keeps holding, converging on a locally
+minimal (1-minimal) reproduction: removing any single remaining
+element no longer fails.
+
+The predicate owns the notion of "still fails": for the model checker
+it replays the candidate on a fresh system and reports whether the
+*target* failure (invariant violation / deadlock) recurs -- candidate
+sequences that become structurally invalid (an unlock without its
+lock) simply count as not failing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+FailsFn = Callable[[tuple], bool]
+
+
+def shrink_ops(ops: Sequence[T], fails: FailsFn) -> tuple[T, ...]:
+    """Greedy deletion to a 1-minimal failing subsequence.
+
+    Starts with whole-chunk deletions (halving chunk sizes) so long
+    padded sequences collapse quickly, then finishes with single-op
+    passes until a fixpoint.  ``fails(candidate)`` must be
+    deterministic; the input itself must fail.
+    """
+    current = list(ops)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        i = 0
+        changed = False
+        while i < len(current):
+            candidate = current[:i] + current[i + chunk:]
+            if candidate and fails(tuple(candidate)):
+                current = candidate
+                changed = True
+            else:
+                i += chunk
+        if chunk == 1 and not changed:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if changed else 0)
+    return tuple(current)

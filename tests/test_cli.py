@@ -108,3 +108,69 @@ class TestCommands:
         rc = main(["experiments", "table1"])
         assert rc == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify"])
+
+    def test_verify_model_single_combo(self, capsys):
+        rc = main([
+            "verify", "model", "--nodes", "2", "--blocks", "1",
+            "--extensions", "p,cw,m", "--directory", "full",
+            "--depth", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P+CW+M / full / RC" in out
+        assert "states" in out and "transitions" in out
+        assert "directory transitions reached" in out
+        assert "0 violation(s)" in out
+
+    def test_verify_model_matrix_mode(self, capsys):
+        rc = main([
+            "verify", "model", "--depth", "1",
+            "--directory", "full_map", "--consistency", "SC",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # SC matrix: BASIC, P, PF, M, P+M, PF+M (CW requires RC)
+        assert "BASIC / full_map / SC" in out
+        assert "P+M / full_map / SC" in out
+        assert "CW" not in out
+        assert "6 config(s)" in out
+        # matrix mode keeps the per-combo listing behind --coverage
+        assert "directory transitions reached" not in out
+
+    def test_verify_model_reports_violations(self, capsys, monkeypatch):
+        from repro.core.extensions import MigratoryExtension
+
+        monkeypatch.setattr(
+            MigratoryExtension,
+            "grants_exclusive_read",
+            lambda self, home, entry, msg: len(entry.sharers) > 0,
+        )
+        rc = main([
+            "verify", "model", "--extensions", "m", "--depth", "3",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "counterexample" in out
+        assert "exclusive holder" in out
+
+    def test_verify_fuzz_short_campaign(self, capsys):
+        rc = main([
+            "verify", "fuzz", "--seed", "3", "--trials", "1",
+            "--ops", "300",
+        ])
+        assert rc == 0
+        assert "1 trial(s) ok" in capsys.readouterr().out
+
+    def test_verify_registry(self, capsys):
+        rc = main(["verify", "registry"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registry ok" in out
+        assert "sync_sensitive" in out

@@ -9,91 +9,12 @@ satisfy the global coherence invariants.
 """
 
 import random
-from dataclasses import replace
 
 import pytest
 
-from repro.config import (
-    ALL_PROTOCOLS,
-    SC_PROTOCOLS,
-    CacheConfig,
-    CompetitiveConfig,
-    Consistency,
-    NetworkConfig,
-    NetworkKind,
-    PrefetchConfig,
-    ProtocolConfig,
-    SystemConfig,
-)
 from repro.core.invariants import check_all
 from repro.system import System
-
-
-def fuzz_stream(pid, seed, nops=220):
-    rng = random.Random(seed)
-    ops = []
-    in_cs = False
-    lock = 0x10000
-    for _ in range(nops):
-        r = rng.random()
-        if in_cs and r < 0.15:
-            ops.append(("release", lock))
-            in_cs = False
-            continue
-        if not in_cs and r < 0.05:
-            lock = 0x10000 + rng.randrange(3) * 4096
-            ops.append(("acquire", lock))
-            in_cs = True
-            continue
-        a = rng.randrange(48) * 32 + rng.randrange(8) * 4
-        ops.append(("read", a) if r < 0.6 else ("write", a))
-        if rng.random() < 0.3:
-            ops.append(("think", rng.randrange(1, 8)))
-    if in_cs:
-        ops.append(("release", lock))
-    ops.append(("barrier", 0))
-    return ops
-
-
-def random_config(rng: random.Random) -> SystemConfig:
-    model = rng.choice([Consistency.RC, Consistency.RC, Consistency.SC])
-    protos = ALL_PROTOCOLS if model is Consistency.RC else SC_PROTOCOLS
-    proto = ProtocolConfig.from_name(rng.choice(protos))
-    if proto.competitive_update and rng.random() < 0.4:
-        proto = replace(
-            proto,
-            competitive_params=rng.choice(
-                [
-                    CompetitiveConfig.classic(),
-                    CompetitiveConfig(exclusive_grant=True),
-                    CompetitiveConfig(threshold=2),
-                ]
-            ),
-        )
-    if proto.prefetch and rng.random() < 0.3:
-        proto = replace(
-            proto,
-            prefetch_params=PrefetchConfig(initial_degree=4, adaptive=False),
-        )
-    return SystemConfig(
-        n_procs=rng.choice([4, 9, 16]),
-        consistency=model,
-        protocol=proto,
-        cache=CacheConfig(
-            slc_size=rng.choice([None, 1024, 2048]),
-            slwb_entries=rng.choice([2, 4, 16]),
-            flwb_entries=rng.choice([1, 4, 8]),
-        ),
-        network=(
-            NetworkConfig(
-                kind=NetworkKind.MESH,
-                link_width_bits=rng.choice([16, 32, 64]),
-            )
-            if rng.random() < 0.4
-            else NetworkConfig()
-        ),
-        page_placement=rng.choice(["round_robin", "first_touch"]),
-    )
+from repro.verify.fuzz import fuzz_stream, random_config
 
 
 @pytest.mark.parametrize("trial", range(20))

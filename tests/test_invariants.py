@@ -8,12 +8,15 @@ tests prove nothing.
 import pytest
 from conftest import pad_streams, tiny_config
 
+from repro.config import DirectoryConfig, SystemConfig
 from repro.core.invariants import (
     InvariantViolation,
     check_all,
     check_coherence,
     check_inclusion,
     check_quiescent,
+    check_safety,
+    check_swmr,
 )
 from repro.core.states import CacheState, MemoryState
 from repro.system import System
@@ -25,6 +28,13 @@ def healthy_system():
         [[("read", 0), ("write", 0)], [("read", 4096)]], 4
     )
     system.run(streams)
+    return system
+
+
+def healthy_directory_system(directory: DirectoryConfig):
+    """4 procs, block 0 read by three nodes, under ``directory``."""
+    system = System(SystemConfig(n_procs=4, directory=directory))
+    system.run(pad_streams([[("read", 0)], [("read", 0)], [("read", 0)]], 4))
     return system
 
 
@@ -100,5 +110,109 @@ def test_detects_stuck_home_transaction():
     system.nodes[0].home._xacts[7] = _Xact(
         kind="inv", orig=Message(MsgType.OWN_REQ, src=1, dst=0, block=7)
     )
-    with pytest.raises(InvariantViolation, match="transactions"):
+    with pytest.raises(
+        InvariantViolation,
+        match=r"home 0: transactions \[7\] still active at quiescence",
+    ):
         check_quiescent(system)
+
+
+def test_detects_line_unknown_to_directory():
+    """Reverse-sweep regression: a resident SLC line whose block the
+    home directory never recorded must be flagged.  The forward sweep
+    (over ``known_blocks``) cannot see it."""
+    system = healthy_system()
+    # block 500 was never referenced: no directory entry anywhere
+    system.nodes[2].cache.slc.insert(500, CacheState.SHARED)
+    assert all(500 not in n.home.directory for n in system.nodes)
+    with pytest.raises(
+        InvariantViolation,
+        match=r"node 2: SLC holds block 500 \(S\) unknown to its home",
+    ):
+        check_coherence(system)
+
+
+def test_detects_exclusive_line_unknown_to_directory():
+    system = healthy_system()
+    system.nodes[1].cache.slc.insert(501, CacheState.DIRTY)
+    with pytest.raises(InvariantViolation, match="unknown to its home"):
+        check_coherence(system)
+
+
+def test_inclusion_message_is_specific():
+    system = healthy_system()
+    system.nodes[0].cache.flc.fill(999)
+    with pytest.raises(
+        InvariantViolation,
+        match=r"node 0: FLC holds block 999 absent from the SLC "
+              r"\(inclusion violated\)",
+    ):
+        check_inclusion(system)
+
+
+def test_representability_rejects_limited_overflow_shrunk():
+    """A Dir_i-B entry past overflow must believe *every* node; losing
+    one believed holder is a state the hardware cannot encode."""
+    system = healthy_directory_system(
+        DirectoryConfig(org="limited", pointers=1)
+    )
+    entry = system.nodes[0].home.directory.entry(0)
+    assert entry.sharers.overflowed and len(entry.sharers) == 4
+    set.discard(entry.sharers, 3)  # bypass the believed-set semantics
+    with pytest.raises(
+        InvariantViolation,
+        match=r"believed sharers \[0, 1, 2\] are not representable "
+              r"by the limited:1 directory",
+    ):
+        check_coherence(system)
+
+
+def test_representability_rejects_unoverflowed_excess_pointers():
+    system = healthy_directory_system(
+        DirectoryConfig(org="limited", pointers=4)
+    )
+    entry = system.nodes[0].home.directory.entry(0)
+    assert not entry.sharers.overflowed
+    # forge a fifth believed holder without tripping the overflow bit
+    set.update(entry.sharers, {0, 1, 2, 3})
+    entry.sharers._org.pointers = 3
+    with pytest.raises(
+        InvariantViolation, match="not representable by the limited:3"
+    ):
+        check_coherence(system)
+
+
+def test_representability_rejects_partial_coarse_region():
+    """A coarse vector can only believe whole regions; a believed set
+    with half a region is unencodable."""
+    system = healthy_directory_system(
+        DirectoryConfig(org="coarse", region_size=2)
+    )
+    entry = system.nodes[0].home.directory.entry(0)
+    # readers 0,1,2 materialize both regions: {0,1} and {2,3}
+    assert set(entry.sharers) == {0, 1, 2, 3}
+    set.discard(entry.sharers, 3)  # bypass the region semantics
+    with pytest.raises(
+        InvariantViolation, match="not representable by the coarse:2"
+    ):
+        check_coherence(system)
+
+
+def test_check_swmr_needs_no_directory_state():
+    system = healthy_system()
+    check_swmr(system)
+    # two exclusive copies of a block no directory knows about
+    system.nodes[2].cache.slc.insert(700, CacheState.DIRTY)
+    system.nodes[3].cache.slc.insert(700, CacheState.DIRTY)
+    with pytest.raises(
+        InvariantViolation, match=r"block 700: multiple exclusive holders"
+    ):
+        check_swmr(system)
+
+
+def test_check_safety_is_the_midflight_subset():
+    system = healthy_system()
+    check_safety(system)
+    system.nodes[1].cache.slc.insert(0, CacheState.SHARED)
+    with pytest.raises(InvariantViolation, match="coexists"):
+        check_safety(system)

@@ -1,0 +1,64 @@
+"""The seeded long-run fuzzer and its stream shrinker."""
+
+from repro.core.invariants import InvariantViolation
+from repro.verify import fuzz_stream, run_fuzz
+from repro.verify import fuzz as fuzz_mod
+
+
+def test_fuzz_stream_is_deterministic():
+    a = fuzz_stream(0, 42, nops=500)
+    assert a == fuzz_stream(0, 42, nops=500)
+    assert a != fuzz_stream(0, 43, nops=500)
+    assert a[-1] == ("barrier", 0)
+    # every acquire is matched before the stream ends
+    depth = 0
+    for op, _ in a:
+        if op == "acquire":
+            depth += 1
+        elif op == "release":
+            depth -= 1
+        assert depth in (0, 1)
+    assert depth == 0
+
+
+def test_short_fuzz_campaign_passes():
+    result = run_fuzz(seed=3, trials=2, nops=400)
+    assert result.ok
+    assert result.trials == 2
+
+
+def test_shrink_streams_deletes_irrelevant_ops(monkeypatch):
+    """Chunked greedy deletion keeps only what the failure needs (here:
+    a faked trigger op), never touching the trailing barriers."""
+
+    def fake_run_trial(cfg, streams, max_events):
+        if any(op == ("write", 999) for s in streams for op in s):
+            return InvariantViolation("boom")
+        return None
+
+    monkeypatch.setattr(fuzz_mod, "_run_trial", fake_run_trial)
+    streams = [
+        [("read", 0)] * 10 + [("write", 999)] + [("read", 4)] * 10
+        + [("barrier", 0)],
+        [("read", 8)] * 5 + [("barrier", 0)],
+    ]
+    shrunk = fuzz_mod.shrink_streams(
+        None, streams, InvariantViolation, max_events=0
+    )
+    assert shrunk[0] == [("write", 999), ("barrier", 0)]
+    assert shrunk[1] == [("barrier", 0)]
+
+
+def test_run_fuzz_reports_and_shrinks_failures(monkeypatch):
+    def fake_run_trial(cfg, streams, max_events):
+        if len(streams[0]) > 1:
+            return InvariantViolation("boom")
+        return None
+
+    monkeypatch.setattr(fuzz_mod, "_run_trial", fake_run_trial)
+    result = run_fuzz(seed=0, trials=1, nops=50)
+    assert not result.ok
+    failure = result.failures[0]
+    assert "InvariantViolation: boom" in failure.error
+    # shrunk to the minimum that still fails: one op + the barrier
+    assert len(failure.streams[0]) == 2
