@@ -169,6 +169,7 @@ def _spec(
     cache: CacheConfig | None,
     seed: int,
     directory: DirectoryConfig | str | None = None,
+    backend: str = "event",
 ) -> RunSpec:
     return RunSpec.for_run(
         app,
@@ -180,6 +181,7 @@ def _spec(
         scale=scale,
         seed=seed,
         directory=directory,
+        backend=backend,
     )
 
 
@@ -193,16 +195,20 @@ def run_app(
     cache: CacheConfig | None = None,
     seed: int = DEFAULT_SEED,
     directory: DirectoryConfig | str | None = None,
+    backend: str = "event",
     engine: SweepEngine | None = None,
 ) -> RunSummary:
     """Simulate one application on one machine; returns a digest.
 
     ``directory`` selects the directory organization (a
     :class:`~repro.config.DirectoryConfig` or a name like
-    ``"limited:4"``; default full map).
+    ``"limited:4"``; default full map).  ``backend`` selects the
+    execution tier (see :mod:`repro.sim.backend`): ``"event"`` and
+    ``"specialized"`` are counter-exact, ``"replay"`` trades documented
+    tolerances for speed.
     """
     spec = _spec(app, protocol, consistency, scale, n_procs, network,
-                 cache, seed, directory)
+                 cache, seed, directory, backend)
     engine = engine or SweepEngine()
     return RunSummary.from_result(engine.run_one(spec))
 
@@ -266,6 +272,7 @@ def compare_protocols(
     cache: CacheConfig | None = None,
     seed: int = DEFAULT_SEED,
     directory: DirectoryConfig | str | None = None,
+    backend: str = "event",
     baseline: str = "BASIC",
     engine: SweepEngine | None = None,
 ) -> Ranking:
@@ -281,7 +288,7 @@ def compare_protocols(
         protocols = (baseline, *protocols)
     specs = [
         _spec(app, p, consistency, scale, n_procs, network, cache, seed,
-              directory)
+              directory, backend)
         for p in protocols
     ]
     engine = engine or SweepEngine()

@@ -7,27 +7,33 @@ be compared cell by cell.  CI runs the quick matrix as a smoke job and
 fails when a cell regresses more than the allowed factor against the
 committed ``benchmarks/baseline.json``.
 
-Schema (``SCHEMA_VERSION = 1``)::
+Schema (``SCHEMA_VERSION = 2``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "revision": "<git short rev, '+dirty' suffix when unclean>",
       "python": "3.12.1",
       "platform": "Linux-...",
       "repeat": 3,
       "cells": [
         {"app": ..., "protocol": ..., "n_procs": ..., "scale": ...,
-         "events": ..., "wall_s": ..., "events_per_sec": ...,
-         "execution_time": ...},
+         "backend": ..., "events": ..., "wall_s": ...,
+         "events_per_sec": ..., "execution_time": ...},
         ...
       ],
       "totals": {"events": ..., "wall_s": ..., "events_per_sec": ...}
     }
 
+v2 adds the ``backend`` execution tier (see :mod:`repro.sim.backend`)
+to every cell and to the cell identity used by ``--check``, so a
+replay-tier cell is never compared against an event-tier baseline.
+
 ``events`` and ``execution_time`` are deterministic (pinned by the
 golden parity suite); only ``wall_s`` / ``events_per_sec`` vary with
-the machine.  Wall time per cell is the minimum over ``repeat`` runs,
-which is the standard way to suppress scheduler noise.
+the machine.  On the event tiers ``events`` counts fired simulator
+events; on the replay tier it counts replayed references (that tier's
+unit of work).  Wall time per cell is the minimum over ``repeat``
+runs, which is the standard way to suppress scheduler noise.
 """
 
 from __future__ import annotations
@@ -40,15 +46,17 @@ import time
 from pathlib import Path
 
 from repro.config import SystemConfig
+from repro.sim.backend import BACKEND_NAMES
 from repro.system import System
 from repro.workloads import build_workload
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: (app, protocol, n_procs, scale) cells of the quick (CI smoke)
-#: matrix: the hot-path microbenchmark the fast path targets, plus
-#: paper cells covering every extension and the busiest combination.
-QUICK_MATRIX: tuple[tuple[str, str, int, float], ...] = (
+#: (app, protocol, n_procs, scale[, backend]) cells of the quick (CI
+#: smoke) matrix: the hot-path microbenchmark the fast path targets,
+#: plus paper cells covering every extension and the busiest
+#: combination.  A missing fifth element means the event tier.
+QUICK_MATRIX: tuple[tuple, ...] = (
     ("hitpath", "BASIC", 1, 1.0),
     ("mp3d", "BASIC", 16, 0.3),
     ("mp3d", "P+CW+M", 16, 0.3),
@@ -60,10 +68,13 @@ QUICK_MATRIX: tuple[tuple[str, str, int, float], ...] = (
     # invalidation fan-out) so throughput regressions that only bite
     # past the paper's 16 processors are caught too.
     ("mp3d", "P+CW", 64, 0.1),
+    # the replay fast tier on the busiest paper cell, timed against
+    # the identical event-tier cell above.
+    ("mp3d", "P+CW+M", 16, 0.3, "replay"),
 )
 
 #: the five paper applications under all eight protocol combinations
-FULL_MATRIX: tuple[tuple[str, str, int, float], ...] = tuple(
+FULL_MATRIX: tuple[tuple, ...] = tuple(
     (app, proto, 16, 0.3)
     for app in ("mp3d", "cholesky", "water", "lu", "ocean")
     for proto in (
@@ -89,27 +100,60 @@ def git_revision(repo: Path | None = None) -> str:
 
 
 def run_cell(
-    app: str, protocol: str, n_procs: int, scale: float, repeat: int = 3
+    app: str, protocol: str, n_procs: int, scale: float,
+    backend: str = "event", repeat: int = 3,
 ) -> dict:
-    """Run one matrix cell ``repeat`` times; report the best wall time."""
+    """Run one matrix cell ``repeat`` times; report the best wall time.
+
+    The replay tier records its reference trace (or loads a previously
+    recorded one) *outside* the timed region, so ``wall_s`` measures
+    replay throughput, not one-time recording cost.
+    """
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"expected one of {', '.join(BACKEND_NAMES)}"
+        )
     cfg = SystemConfig(n_procs=n_procs).with_protocol(protocol)
-    streams = build_workload(app, cfg, scale=scale)
     best = None
     events = execution_time = 0
-    for _ in range(max(1, repeat)):
-        system = System(cfg)
-        t0 = time.perf_counter()
-        stats = system.run(streams)
-        wall = time.perf_counter() - t0
-        events = system.sim.events_fired
-        execution_time = stats.execution_time
-        if best is None or wall < best:
-            best = wall
+    if backend == "replay":
+        from repro.sim.backend import get_backend
+        from repro.sim.replay import replay_trace
+        from repro.sweep import RunSpec
+
+        spec = RunSpec.for_run(app, protocol=protocol, n_procs=n_procs,
+                               scale=scale, backend="replay")
+        trace = get_backend("replay").store().get_or_record(spec)
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            stats = replay_trace(cfg, trace)
+            wall = time.perf_counter() - t0
+            events = trace.total_ops()
+            execution_time = stats.execution_time
+            if best is None or wall < best:
+                best = wall
+    else:
+        if backend == "specialized":
+            from repro.sim.specialized import SpecializedSystem as sys_cls
+        else:
+            sys_cls = System
+        streams = build_workload(app, cfg, scale=scale)
+        for _ in range(max(1, repeat)):
+            system = sys_cls(cfg)
+            t0 = time.perf_counter()
+            stats = system.run(streams)
+            wall = time.perf_counter() - t0
+            events = system.sim.events_fired
+            execution_time = stats.execution_time
+            if best is None or wall < best:
+                best = wall
     return {
         "app": app,
         "protocol": protocol,
         "n_procs": n_procs,
         "scale": scale,
+        "backend": backend,
         "events": events,
         "wall_s": round(best, 6),
         "events_per_sec": round(events / best, 1),
@@ -118,16 +162,26 @@ def run_cell(
 
 
 def run_matrix(
-    matrix=QUICK_MATRIX, repeat: int = 3, verbose: bool = False
+    matrix=QUICK_MATRIX, repeat: int = 3, verbose: bool = False,
+    backend: str | None = None,
 ) -> dict:
-    """Run every cell of ``matrix``; return the result document."""
+    """Run every cell of ``matrix``; return the result document.
+
+    ``backend`` forces every cell onto one execution tier; ``None``
+    (the default) honors each row's own tier (fifth tuple element,
+    event when absent).
+    """
     cells = []
-    for app, protocol, n_procs, scale in matrix:
-        cell = run_cell(app, protocol, n_procs, scale, repeat=repeat)
+    for row in matrix:
+        app, protocol, n_procs, scale = row[:4]
+        tier = backend or (row[4] if len(row) > 4 else "event")
+        cell = run_cell(app, protocol, n_procs, scale, backend=tier,
+                        repeat=repeat)
         cells.append(cell)
         if verbose:
             print(
                 f"  {app:<10} {protocol:<8} np={n_procs:<3} "
+                f"{tier:<11} "
                 f"events={cell['events']:>9} wall={cell['wall_s']:.4f}s "
                 f"ev/s={cell['events_per_sec']:>11.0f}",
                 flush=True,
@@ -150,8 +204,14 @@ def run_matrix(
 
 
 def cell_key(cell: dict) -> tuple:
-    """Identity of a cell, for matching across result documents."""
-    return (cell["app"], cell["protocol"], cell["n_procs"], cell["scale"])
+    """Identity of a cell, for matching across result documents.
+
+    Includes the execution tier (``"event"`` when absent, which is what
+    every v1 document meant), so replay-tier throughput is never
+    compared against an event-tier baseline.
+    """
+    return (cell["app"], cell["protocol"], cell["n_procs"], cell["scale"],
+            cell.get("backend", "event"))
 
 
 def compare(current: dict, baseline: dict, threshold: float = 2.0) -> list:
@@ -159,7 +219,8 @@ def compare(current: dict, baseline: dict, threshold: float = 2.0) -> list:
 
     Returns ``(key, current_evps, baseline_evps, slowdown)`` tuples;
     an empty list means no cell regressed.  Cells present in only one
-    document are ignored (the matrix may grow between revisions).
+    document never count as regressions (the matrix may grow between
+    revisions); :func:`unmatched` lists them so ``--check`` can warn.
     """
     base_by_key = {cell_key(c): c for c in baseline.get("cells", [])}
     regressions = []
@@ -177,6 +238,20 @@ def compare(current: dict, baseline: dict, threshold: float = 2.0) -> list:
                 (cell_key(cell), cur_evps, base_evps, round(slowdown, 2))
             )
     return regressions
+
+
+def unmatched(current: dict, baseline: dict) -> tuple[list, list]:
+    """Cell keys present in only one of the two result documents.
+
+    Returns ``(only_current, only_baseline)``; either list being
+    non-empty means the regression check silently skipped those cells,
+    which ``--check`` surfaces as warnings.
+    """
+    cur_keys = [cell_key(c) for c in current.get("cells", [])]
+    base_keys = [cell_key(c) for c in baseline.get("cells", [])]
+    cur_set, base_set = set(cur_keys), set(base_keys)
+    return ([k for k in cur_keys if k not in base_set],
+            [k for k in base_keys if k not in cur_set])
 
 
 def write_result(result: dict, out: Path) -> None:
@@ -217,6 +292,11 @@ def add_bench_args(parser) -> None:
         "--threshold", type=float, default=2.0,
         help="allowed slowdown factor per cell for --check (default 2)",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="force every cell onto one execution tier "
+             "(default: each matrix row's own tier)",
+    )
 
 
 def run_bench(args) -> int:
@@ -225,7 +305,8 @@ def run_bench(args) -> int:
     name = "full" if args.full else "quick"
     print(f"running {name} matrix ({len(matrix)} cells, "
           f"min of {args.repeat} runs; python {platform.python_version()})")
-    result = run_matrix(matrix, repeat=args.repeat, verbose=True)
+    result = run_matrix(matrix, repeat=args.repeat, verbose=True,
+                        backend=getattr(args, "backend", None))
     totals = result["totals"]
     print(f"TOTAL events={totals['events']} wall={totals['wall_s']:.4f}s "
           f"ev/s={totals['events_per_sec']:.0f}")
@@ -238,6 +319,11 @@ def run_bench(args) -> int:
 
     if args.check:
         baseline = load_result(Path(args.check))
+        only_cur, only_base = unmatched(result, baseline)
+        for key in only_cur:
+            print(f"WARNING: {key} has no baseline cell; not checked")
+        for key in only_base:
+            print(f"WARNING: {key} is in the baseline only; not checked")
         regressions = compare(result, baseline, threshold=args.threshold)
         if regressions:
             print(f"REGRESSION vs {args.check} (threshold {args.threshold}x):")

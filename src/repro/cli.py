@@ -107,23 +107,46 @@ def _summary_rows(summary):
 def cmd_run(args) -> int:
     """Simulate one configuration and print the summary."""
     cfg = _make_config(args)
+    backend = getattr(args, "backend", "event")
     if args.trace_file:
+        if backend != "event":
+            print("--trace-file drives the event engine directly; "
+                  "drop --backend", file=sys.stderr)
+            return 2
         from repro.trace import load_streams
 
         streams = load_streams(args.trace_file)
+
+        def simulate():
+            return System(cfg).run(streams)
     else:
-        streams = build_workload(args.app, cfg, scale=args.scale)
-    system = System(cfg)
+        from repro.sim.backend import get_backend
+        from repro.sweep import RunSpec
+
+        spec = RunSpec.for_run(
+            args.app,
+            protocol=_protocol_arg(args),
+            consistency=Consistency(args.consistency),
+            network=_network_arg(args),
+            n_procs=args.procs,
+            scale=args.scale,
+            directory=_directory_arg(args),
+            backend=backend,
+        )
+
+        def simulate():
+            return get_backend(backend).execute(spec)
+
     if args.profile or args.profile_out:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        stats = system.run(streams)
+        stats = simulate()
         profiler.disable()
     else:
-        stats = system.run(streams)
+        stats = simulate()
     from repro.api import RunSummary
 
     summary = RunSummary.from_stats(args.app, cfg, stats)
@@ -163,6 +186,7 @@ def cmd_compare(args) -> int:
             scale=args.scale,
             seed=args.seed,
             directory=_directory_arg(args),
+            backend=getattr(args, "backend", "event"),
         )
         for proto in combos
     ]
@@ -250,9 +274,17 @@ def cmd_trace(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the sweep service until interrupted."""
+    import os
+
     from repro.service import create_service
     from repro.sweep import default_cache_dir
 
+    if args.trace_dir:
+        # worker processes inherit the environment across spawn, so
+        # this one override configures every replay-backend cell
+        from repro.sim.backend import TRACE_DIR_ENV
+
+        os.environ[TRACE_DIR_ENV] = args.trace_dir
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
@@ -296,6 +328,7 @@ def cmd_submit(args) -> int:
             scale=args.scale,
             seed=args.seed,
             directory=_directory_arg(args),
+            backend=getattr(args, "backend", "event"),
         )
         for proto in combos
     ]
@@ -551,6 +584,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Dir_i-B) or coarse[:k] (default: %(default)s)"
                 ),
             )
+            p.add_argument(
+                "--backend", choices=("event", "specialized", "replay"),
+                default="event",
+                help=(
+                    "execution backend: event (reference), specialized "
+                    "(compiled dispatch, counter-exact) or replay "
+                    "(trace fast tier, documented tolerances; see "
+                    "docs/engine.md)"
+                ),
+            )
 
     p_run = sub.add_parser("run", help="simulate one configuration")
     common(p_run)
@@ -627,6 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request to stderr",
+    )
+    p_srv.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "where replay-backend cells keep recorded reference "
+            "traces (default: $REPRO_TRACE_DIR or .repro/traces)"
+        ),
     )
     p_srv.set_defaults(fn=cmd_serve)
 

@@ -35,15 +35,23 @@ PROTOCOLS = ("BASIC", "P", "CW", "M", "P+CW", "P+M")
 
 def run_buffers(scale: float = 1.0, apps: tuple[str, ...] = APP_NAMES,
                 engine: SweepEngine | None = None,
-                seed: int = DEFAULT_SEED) -> dict:
-    """{app: {proto: slowdown with 4-entry buffers}}."""
+                seed: int = DEFAULT_SEED,
+                backend: str = "event") -> dict:
+    """{app: {proto: slowdown with 4-entry buffers}}.
+
+    ``backend`` may be any execution tier: sensitivity studies compare
+    cells against each other, so the replay tier's documented
+    tolerances cancel out of the ratios (unlike the paper tables,
+    which stay pinned to the event-exact tiers).
+    """
     specs = []
     for app in apps:
         for proto in PROTOCOLS:
             specs.append(RunSpec.for_run(app, protocol=proto, scale=scale,
-                                         seed=seed))
+                                         seed=seed, backend=backend))
             specs.append(RunSpec.for_run(app, protocol=proto, scale=scale,
-                                         seed=seed, cache=small_buffer_cache()))
+                                         seed=seed, backend=backend,
+                                         cache=small_buffer_cache()))
     results = iter(execute(specs, engine))
     out: dict = {}
     for app in apps:
@@ -61,10 +69,12 @@ def run_limited_slc(
     slc_bytes: int = 16 * 1024,
     engine: SweepEngine | None = None,
     seed: int = DEFAULT_SEED,
+    backend: str = "event",
 ) -> dict:
     """{app: {proto: (relative exec vs BASIC, replacement miss %)}}."""
     specs = [
         RunSpec.for_run(app, protocol=proto, scale=scale, seed=seed,
+                        backend=backend,
                         cache=limited_slc_cache(slc_bytes))
         for app in apps
         for proto in PROTOCOLS
@@ -123,6 +133,11 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
+        "--backend", choices=("event", "specialized", "replay"),
+        default="event",
+        help="execution tier; replay is valid here because the study "
+             "only reports relative numbers (see docs/engine.md)")
+    parser.add_argument(
         "--study", choices=("buffers", "slc", "both"), default="both"
     )
     add_sweep_args(parser)
@@ -130,12 +145,14 @@ def main(argv: list[str] | None = None) -> None:
     engine = engine_from_args(args)
     if args.study in ("buffers", "both"):
         print(render_buffers(run_buffers(scale=args.scale, engine=engine,
-                                         seed=args.seed)))
+                                         seed=args.seed,
+                                         backend=args.backend)))
         print()
     if args.study in ("slc", "both"):
         print(render_limited_slc(run_limited_slc(scale=args.scale,
                                                  engine=engine,
-                                                 seed=args.seed)))
+                                                 seed=args.seed,
+                                                 backend=args.backend)))
     print_sweep_summary(engine)
 
 

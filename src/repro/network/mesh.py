@@ -19,7 +19,6 @@ N x 1 chain, which is still a valid (if bisection-starved) mesh.
 from __future__ import annotations
 
 import math
-import warnings
 
 from repro.config import NetworkConfig
 from repro.sim.resource import FcfsResource
@@ -65,25 +64,6 @@ class MeshNetwork:
     def dims(self) -> tuple[int, int]:
         """Mesh dimensions ``(width, height)`` (4x4 for the paper)."""
         return self._dims
-
-    @property
-    def side(self) -> int:
-        """Deprecated square edge length; use :attr:`dims`.
-
-        Kept for square meshes only -- a rectangular mesh has no single
-        side, so accessing it there raises.
-        """
-        warnings.warn(
-            "MeshNetwork.side is deprecated; use MeshNetwork.dims",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        w, h = self._dims
-        if w != h:
-            raise ValueError(
-                f"mesh is {w}x{h}, not square; use MeshNetwork.dims"
-            )
-        return w
 
     def _coords(self, node: int) -> tuple[int, int]:
         return node % self._width, node // self._width

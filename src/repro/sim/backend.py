@@ -1,0 +1,165 @@
+"""Pluggable execution backends.
+
+An :class:`ExecutionBackend` turns one run spec (any object with the
+:class:`~repro.sweep.spec.RunSpec` surface: ``to_config()``, ``app``,
+``scale``, ``seed``, ``workload_kw``) into a
+:class:`~repro.stats.counters.MachineStats`.  Three tiers trade
+fidelity against speed:
+
+``event``
+    The reference discrete-event machine (:class:`repro.system.System`).
+    Every protocol transaction, bus reservation and buffer drain is a
+    scheduled event.  This is the tier the golden grids and the paper
+    tables are pinned to.
+
+``specialized``
+    The same event machine with per-run compiled dispatch
+    (:class:`repro.sim.specialized.SpecializedSystem`): hook pipelines,
+    handler tables and timing constants are folded into closures when
+    the system is built.  Counter-for-counter identical to ``event``
+    (pinned by the golden parity suite), just faster.
+
+``replay``
+    The trace-record/replay fast tier: the workload's shared-reference
+    stream is recorded once (:mod:`repro.trace.refstream`) and replayed
+    through the batched direct-execution timing model of
+    :mod:`repro.sim.replay`.  Reference counts are exact; miss/traffic
+    counters are faithful but order-sensitive; cycles are approximate
+    (see ``docs/engine.md``).  Use for relative sweeps, never for
+    golden/paper tables.
+
+Backends are resolved by name through :func:`get_backend`; the name
+travels inside the spec (and therefore inside its content hash), so
+results produced by different tiers never collide in the sweep cache.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.stats.counters import MachineStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.refstream import TraceStore
+
+#: environment override for where the replay tier keeps trace files
+#: (worker processes inherit it across spawn).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: default on-disk location of recorded reference traces.
+DEFAULT_TRACE_DIR = os.path.join(".repro", "traces")
+
+
+def _workload_streams(spec, cfg):
+    from repro.workloads import build_workload
+
+    return build_workload(
+        spec.app, cfg, scale=spec.scale, seed=spec.seed,
+        **dict(spec.workload_kw),
+    )
+
+
+class ExecutionBackend(ABC):
+    """One way of turning a run spec into machine statistics."""
+
+    #: registry name, also carried in :class:`RunSpec.backend`.
+    name: str = ""
+    #: True when the backend is counter-for-counter identical to the
+    #: event engine; False when its results carry documented tolerances.
+    exact: bool = True
+
+    @abstractmethod
+    def execute(self, spec) -> MachineStats:
+        """Run ``spec`` to completion and return its statistics."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class EventBackend(ExecutionBackend):
+    """The reference discrete-event machine."""
+
+    name = "event"
+    exact = True
+
+    def execute(self, spec) -> MachineStats:
+        from repro.system import System
+
+        cfg = spec.to_config()
+        return System(cfg).run(_workload_streams(spec, cfg))
+
+
+class SpecializedBackend(ExecutionBackend):
+    """The event machine with per-run compiled dispatch."""
+
+    name = "specialized"
+    exact = True
+
+    def execute(self, spec) -> MachineStats:
+        from repro.sim.specialized import SpecializedSystem
+
+        cfg = spec.to_config()
+        return SpecializedSystem(cfg).run(_workload_streams(spec, cfg))
+
+
+class ReplayBackend(ExecutionBackend):
+    """Trace-record/replay: record the reference stream once, replay it
+    through the batched timing model for every protocol/timing variant.
+    """
+
+    name = "replay"
+    exact = False
+
+    def __init__(self, trace_dir: str | os.PathLike | None = None) -> None:
+        self._trace_dir = trace_dir
+
+    @property
+    def trace_dir(self) -> str:
+        """Where traces live: explicit arg > $REPRO_TRACE_DIR > default."""
+        if self._trace_dir is not None:
+            return os.fspath(self._trace_dir)
+        return os.environ.get(TRACE_DIR_ENV, DEFAULT_TRACE_DIR)
+
+    def store(self) -> "TraceStore":
+        from repro.trace.refstream import TraceStore
+
+        return TraceStore(self.trace_dir)
+
+    def execute(self, spec) -> MachineStats:
+        from repro.sim.replay import replay_trace
+
+        trace = self.store().get_or_record(spec)
+        return replay_trace(spec.to_config(), trace)
+
+
+#: backend registry, keyed by the name specs carry.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    EventBackend.name: EventBackend,
+    SpecializedBackend.name: SpecializedBackend,
+    ReplayBackend.name: ReplayBackend,
+}
+
+DEFAULT_BACKEND = EventBackend.name
+
+#: valid ``RunSpec.backend`` values, in registry order.
+BACKEND_NAMES = tuple(BACKENDS)
+
+
+def get_backend(name: str | None = None, **kwargs) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``None`` (or ``""``) resolves to the default event backend; extra
+    keyword arguments go to the backend constructor (only ``replay``
+    takes any: ``trace_dir``).
+    """
+    key = name or DEFAULT_BACKEND
+    try:
+        cls = BACKENDS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {key!r}; "
+            f"expected one of {', '.join(BACKEND_NAMES)}"
+        ) from None
+    return cls(**kwargs)

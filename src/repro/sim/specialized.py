@@ -1,0 +1,1895 @@
+"""Specialized event core: per-run precompiled dispatch.
+
+:class:`SpecializedSystem` is a drop-in :class:`~repro.system.System`
+whose hottest paths are *compiled at build time* into flat closures
+with every run-constant folded in: the message transport (bus
+geometry, network latency, the live event heap), the per-node send
+helpers (home lookup, message construction), the home controller's
+request dispatch (transient-state check, directory-entry fetch and
+per-type handler fused into one frame per message kind), and the
+processor's tight issue loop (a cached crossing bound replaces the
+per-op heap peek).  The generic ``System`` resolves all of that
+through ``self`` and two or three call frames per message; the
+specialized core resolves it once per run.
+
+The compilation is a pure re-binding exercise: every closure body is
+line-for-line the semantics of the generic method it replaces, so all
+counters, all timestamps and ``events_fired`` stay bit-identical to
+the event backend.  The 16-cell golden parity suite and the
+cross-backend equivalence suite (``tests/test_backend_equivalence.py``)
+pin that claim.
+
+Known trade-off: tools that monkeypatch the transport after
+construction (:class:`repro.trace.MessageTracer`) only intercept the
+``System._send`` attribute, not the compiled helpers that captured the
+transport at build time -- attach tracers to a plain ``System``
+(the reference recorder does exactly that).
+
+This module is also the seam future compiled backends (mypyc/Cython
+builds of the same closures) plug into: anything that preserves the
+transport contract can register itself as another
+:class:`~repro.sim.backend.ExecutionBackend`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush
+from typing import Iterable
+
+from repro.config import SystemConfig
+from repro.core.cache_ctrl import _PendingRead, _PendingWrite
+from repro.core.directory import DirectoryEntry
+from repro.core.home import HomeController
+from repro.core.transactions import Xact
+from repro.core.messages import (
+    BLOCK_BYTES,
+    HEADER_BYTES,
+    HOME_BOUND,
+    MSG_NAMES,
+    SIZE_BY_TYPE,
+    WORD_BYTES,
+    Message,
+    MsgType,
+)
+from repro.core.states import CacheState, MemoryState
+from repro.mem.addrmap import WORD_SIZE
+from repro.mem.write_buffers import FlwbEntry, SlwbKind
+from repro.node.processor import Op, Processor
+from repro.sim.engine import SimulationError
+from repro.system import System
+
+_new_msg = object.__new__
+
+
+def _hook(pipeline, name: str):
+    """Direct-dispatch form of one pipeline hook.
+
+    Returns ``None`` when no extension implements the hook (call sites
+    skip the call entirely -- the generic dispatcher would loop over an
+    empty tuple), the lone extension's bound method when exactly one
+    does, and the pipeline dispatcher otherwise.  All three forms are
+    observationally identical to the generic ``if self._exts:
+    pipeline.<hook>(...)`` call site.
+    """
+    hooks = getattr(pipeline, "_" + name)
+    if not hooks:
+        return None
+    if len(hooks) == 1:
+        return getattr(hooks[0], name)
+    return getattr(pipeline, name)
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+
+def compile_transport(system: System):
+    """Rebind ``system``'s transport to run-specialized closures.
+
+    Folds the bus ledgers, handler tables, network accounting and the
+    event heap into closure locals, then installs the compiled
+    functions on the system *and* on every controller that captured
+    the generic bound method at construction time.  Returns the
+    compiled ``_send``.
+    """
+    sim = system.sim
+    ns = system.stats.network
+    flat_latency = system._flat_latency
+    network = system.network
+
+    def _deliver_remote(
+        msg,
+        occ,
+        fn,
+        sim=sim,
+        bus_res=system._bus_res,
+        heap=sim._heap,  # invariant: Simulator._heap is never rebound
+        _push=heappush,
+    ):
+        # destination-bus reservation (SplitTransactionBus.access, inlined)
+        res = bus_res[msg.dst]
+        free = res._free_at
+        now = sim.now
+        start = now if now > free else free
+        t_in = start + occ
+        res._free_at = t_in
+        res.busy_cycles += occ
+        res.reservations += 1
+        if (not heap or heap[0][0] > t_in) and t_in <= sim._until:
+            sim.now = t_in
+            sim._events_fired += 1
+            fn(msg, t_in)
+        else:
+            _push(heap, (t_in, sim._seq, fn, (msg, t_in)))
+            sim._seq += 1
+
+    if flat_latency is not None:
+        # uniform network: accounting and arrival arithmetic inlined,
+        # the contention-free latency folded in as a constant
+        def _send(
+            msg,
+            ready,
+            sim=sim,
+            ns=ns,
+            by_type=ns.by_type,
+            bus_res=system._bus_res,
+            deliver_fns=system._deliver_fns,
+            heap=sim._heap,
+            lat=flat_latency,
+            bus_width=system._bus_width,
+            bus_cycle=system._bus_cycle,
+            _sizes=SIZE_BY_TYPE,
+            _names=MSG_NAMES,
+            _header=HEADER_BYTES,
+            _hdr_blk=HEADER_BYTES + BLOCK_BYTES,
+            _word=WORD_BYTES,
+            _xfer=MsgType.XFER_ACK,
+            _push=heappush,
+            _remote=_deliver_remote,
+        ):
+            src, dst, mtype = msg.src, msg.dst, msg.mtype
+            size = _sizes[mtype]
+            if size < 0:
+                # Message.size_bytes, inlined (variable-size kinds)
+                if mtype is _xfer:
+                    size = _hdr_blk if msg.was_modified else _header
+                else:
+                    size = _header + _word * msg.words
+            # source-bus reservation (SplitTransactionBus.access, inlined)
+            cycles = -(-size // bus_width)
+            if cycles < 1:
+                cycles = 1
+            occ = cycles * bus_cycle
+            res = bus_res[src]
+            free = res._free_at
+            start = ready if ready > free else free
+            t_out = start + occ
+            res._free_at = t_out
+            res.busy_cycles += occ
+            res.reservations += 1
+            if src != dst:
+                ns.messages += 1
+                ns.bytes += size
+                if size > _header:
+                    ns.data_messages += 1
+                name = _names[mtype]
+                by_type[name] = by_type.get(name, 0) + 1
+                arrive = t_out + lat
+                fn = deliver_fns[dst][mtype]
+                _push(heap, (arrive, sim._seq, _remote, (msg, occ, fn)))
+            else:
+                arrive = t_out
+                fn = deliver_fns[dst][mtype]
+                _push(heap, (arrive, sim._seq, fn, (msg, arrive)))
+            sim._seq += 1
+
+    else:
+        # generic topology (mesh): the network model owns accounting
+        # and arrival times; everything else is still folded
+        def _send(
+            msg,
+            ready,
+            sim=sim,
+            bus_res=system._bus_res,
+            deliver_fns=system._deliver_fns,
+            heap=sim._heap,
+            record=network.record,
+            arrival_time=network.arrival_time,
+            bus_width=system._bus_width,
+            bus_cycle=system._bus_cycle,
+            _sizes=SIZE_BY_TYPE,
+            _names=MSG_NAMES,
+            _header=HEADER_BYTES,
+            _hdr_blk=HEADER_BYTES + BLOCK_BYTES,
+            _word=WORD_BYTES,
+            _xfer=MsgType.XFER_ACK,
+            _push=heappush,
+            _remote=_deliver_remote,
+        ):
+            src, dst, mtype = msg.src, msg.dst, msg.mtype
+            size = _sizes[mtype]
+            if size < 0:
+                # Message.size_bytes, inlined (variable-size kinds)
+                if mtype is _xfer:
+                    size = _hdr_blk if msg.was_modified else _header
+                else:
+                    size = _header + _word * msg.words
+            cycles = -(-size // bus_width)
+            if cycles < 1:
+                cycles = 1
+            occ = cycles * bus_cycle
+            res = bus_res[src]
+            free = res._free_at
+            start = ready if ready > free else free
+            t_out = start + occ
+            res._free_at = t_out
+            res.busy_cycles += occ
+            res.reservations += 1
+            record(_names[mtype], src, dst, size, size > _header)
+            arrive = arrival_time(src, dst, size, t_out)
+            fn = deliver_fns[dst][mtype]
+            if src == dst:
+                _push(heap, (arrive, sim._seq, fn, (msg, arrive)))
+            else:
+                _push(heap, (arrive, sim._seq, _remote, (msg, occ, fn)))
+            sim._seq += 1
+
+    system._send = _send  # type: ignore[method-assign]
+    system._deliver_remote = _deliver_remote  # type: ignore[method-assign]
+    for node in system.nodes:
+        node.cache._send = _send
+        node.home._send = _send
+    return _send
+
+
+# ----------------------------------------------------------------------
+# per-node send helpers
+# ----------------------------------------------------------------------
+
+
+def compile_send_helpers(system: System, send) -> None:
+    """Rebind each controller's message helpers to compiled closures.
+
+    ``send_home`` / ``reply`` spell every :class:`Message` field out as
+    an explicit keyword parameter and build the message with direct
+    slot stores -- no ``**kw`` dict, no per-field ``setattr`` loop and
+    no dataclass initializer per message, where the generic chain pays
+    all three.  The keyword vocabulary is exactly the Message fields,
+    so unknown names still fail (``TypeError`` instead of the slot
+    descriptor's ``AttributeError``).
+    """
+    sim = system.sim
+    _new = _new_msg
+    _Message = Message
+    for node in system.nodes:
+        cache = node.cache
+        home = node.home
+        cache_id = cache.node_id
+        home_id = home.node_id
+        home_cache = cache._home_cache
+        home_of = cache._home_of
+
+        def send_home(
+            mtype, block, t=None, *,
+            requester=-1, prefetch=False, words=0, grant="S",
+            was_modified=False, drop=False, give_up=False,
+            exclusive=False, tag=0,
+            node_id=cache_id, home_cache=home_cache, home_of=home_of,
+        ):
+            dst = home_cache.get(block)
+            if dst is None:
+                dst = home_of(block)
+                home_cache[block] = dst
+            msg = _new(_Message)
+            msg.mtype = mtype
+            msg.src = node_id
+            msg.dst = dst
+            msg.block = block
+            msg.requester = requester
+            msg.prefetch = prefetch
+            msg.words = words
+            msg.grant = grant
+            msg.was_modified = was_modified
+            msg.drop = drop
+            msg.give_up = give_up
+            msg.exclusive = exclusive
+            msg.tag = tag
+            send(msg, sim.now if t is None else t)
+
+        def cache_reply(
+            mtype, dst, block, t, *,
+            requester=-1, prefetch=False, words=0, grant="S",
+            was_modified=False, drop=False, give_up=False,
+            exclusive=False, tag=0,
+            node_id=cache_id,
+        ):
+            msg = _new(_Message)
+            msg.mtype = mtype
+            msg.src = node_id
+            msg.dst = dst
+            msg.block = block
+            msg.requester = requester
+            msg.prefetch = prefetch
+            msg.words = words
+            msg.grant = grant
+            msg.was_modified = was_modified
+            msg.drop = drop
+            msg.give_up = give_up
+            msg.exclusive = exclusive
+            msg.tag = tag
+            send(msg, t)
+
+        def home_reply(
+            mtype, dst, block, t, *,
+            requester=-1, prefetch=False, words=0, grant="S",
+            was_modified=False, drop=False, give_up=False,
+            exclusive=False, tag=0,
+            node_id=home_id,
+        ):
+            msg = _new(_Message)
+            msg.mtype = mtype
+            msg.src = node_id
+            msg.dst = dst
+            msg.block = block
+            msg.requester = requester
+            msg.prefetch = prefetch
+            msg.words = words
+            msg.grant = grant
+            msg.was_modified = was_modified
+            msg.drop = drop
+            msg.give_up = give_up
+            msg.exclusive = exclusive
+            msg.tag = tag
+            send(msg, t)
+
+        cache.send_home = send_home
+        cache.reply = cache_reply
+        home.reply = home_reply
+
+        def mem_access(
+            t,
+            block,
+            home=home,
+            banks=home._banks,
+            n_banks=home._n_banks,
+            occ=home._mem_occ,
+        ):
+            home.memory_accesses += 1
+            res = banks[block % n_banks]
+            free = res._free_at
+            start = t if t > free else free
+            end = start + occ
+            res._free_at = end
+            res.busy_cycles += occ
+            res.reservations += 1
+            return end
+
+        home.mem_access = mem_access
+
+
+# ----------------------------------------------------------------------
+# cache-side extension replies
+# ----------------------------------------------------------------------
+
+
+def compile_cache_entries(system: System) -> None:
+    """Flatten the cache's extension-reply fallback dispatch.
+
+    Message kinds owned by extensions (CW updates/acks, migratory
+    interrogations) have no entry in ``cache._handlers``, so the
+    transport table falls back to the generic ``CacheController.deliver``:
+    a redundant handler probe, then the pipeline's hook loop, then the
+    extension -- three frames per message.  The table slot is fixed per
+    kind, so the probe is dead and a single-extension hook chain
+    collapses to a direct call on the extension.
+    """
+    n_types = len(SIZE_BY_TYPE)
+    for dst, node in enumerate(system.nodes):
+        cache = node.cache
+        table = system._deliver_fns[dst]
+        hooks = cache.extensions._on_home_reply
+        if len(hooks) == 1:
+            on_home_reply = hooks[0].on_home_reply
+        else:
+            on_home_reply = cache.extensions.on_home_reply
+
+        def ext_entry(msg, t, cache=cache, on_home_reply=on_home_reply):
+            if not on_home_reply(cache, msg, t):
+                raise SimulationError(
+                    f"cache {cache.node_id}: unexpected {msg.mtype}"
+                )
+
+        for mt in range(n_types):
+            if mt not in cache._handlers and mt not in HOME_BOUND:
+                table[mt] = ext_entry
+
+
+# ----------------------------------------------------------------------
+# home request dispatch
+# ----------------------------------------------------------------------
+
+
+def compile_home_entries(system: System) -> None:
+    """Fuse the home-bound message paths into one closure per kind.
+
+    The generic chain for a home-bound request is
+    ``_deliver_request`` -> ``process_request`` -> per-type handler:
+    a transient-state check, a directory-entry fetch/create and an
+    ``is``-chain over message kinds, re-resolved per message.  Here
+    the kind is fixed per transport-table slot, so each entry fuses
+    the check, the fetch and the *handler body itself* into one frame:
+    ``_handle_read`` and ``_handle_write`` are inlined with
+    ``mem_access`` folded in and their extension hook sites
+    specialized through :func:`_hook` (``RDX_REQ`` vs ``OWN_REQ`` even
+    folds the ``needs_data`` kind test to a constant), and the
+    transaction-completing acks get a fused ``_handle_ack``.  Queued-
+    then-drained requests still flow through the untouched
+    ``process_request``, keeping replay order identical.
+    """
+    _CLEAN = MemoryState.CLEAN
+    _MOD = MemoryState.MODIFIED
+    _RD_RPL = MsgType.RD_RPL
+    _RDX_RPL = MsgType.RDX_RPL
+    _OWN_ACK = MsgType.OWN_ACK
+    _FETCH = MsgType.FETCH
+    _FETCH_INV = MsgType.FETCH_INV
+    _INV = MsgType.INV
+    _XFER_ACK = MsgType.XFER_ACK
+    _INV_ACK = MsgType.INV_ACK
+    _SYNC_TYPES = (MsgType.LOCK_REQ, MsgType.LOCK_REL, MsgType.BAR_ARRIVE)
+    _FETCH_KINDS = HomeController._FETCH_KINDS
+
+    def compile_one(home, table) -> None:
+        xacts = home._xacts
+        pending = home._pending
+        dir_entries = home._dir_entries
+        make_sharers = home._make_sharers
+        banks = home._banks
+        n_banks = home._n_banks
+        mem_occ = home._mem_occ
+        reply = home.reply  # compiled by compile_send_helpers
+        handle_writeback = home._handle_writeback
+        finish_fetch = home._finish_fetch
+        finish_invalidation = home._finish_invalidation
+        exts = home._exts
+        pipeline = home.extensions
+        on_home_request = pipeline.on_home_request
+        grants_exclusive = _hook(pipeline, "grants_exclusive_read")
+        on_own_requested = _hook(pipeline, "on_ownership_requested")
+        on_own_granted = _hook(pipeline, "on_ownership_granted")
+        on_home_ack = _hook(pipeline, "on_home_ack")
+        absorb_ack_payload = _hook(pipeline, "absorb_ack_payload")
+
+        def read_entry(msg, t):
+            block = msg.block
+            if block in xacts:
+                pending.setdefault(block, deque()).append(msg)
+                return
+            e = dir_entries.get(block)
+            if e is None:
+                e = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = e
+            # _handle_read with mem_access inlined
+            req = msg.src
+            if e.state is _CLEAN:
+                home.memory_accesses += 1
+                res = banks[block % n_banks]
+                free = res._free_at
+                t2 = (t if t > free else free) + mem_occ
+                res._free_at = t2
+                res.busy_cycles += mem_occ
+                res.reservations += 1
+                if grants_exclusive is not None and grants_exclusive(
+                    home, e, msg
+                ):
+                    # exclusive grant straight from memory (§3.2)
+                    e.state = _MOD
+                    e.owner = req
+                    e.sharers.clear()
+                    reply(_RD_RPL, req, block, t2, grant="MC",
+                          prefetch=msg.prefetch)
+                    return
+                e.sharers.add(req)
+                reply(_RD_RPL, req, block, t2, grant="S",
+                      prefetch=msg.prefetch)
+                return
+            # MODIFIED: fetch from the owner (4-transfer miss)
+            owner = e.owner
+            if owner is None:
+                raise SimulationError(
+                    f"MODIFIED block {block} with no owner"
+                )
+            if owner == req:
+                raise SimulationError(
+                    f"node {req} read-missed block {block} it owns"
+                )
+            home.memory_accesses += 1
+            res = banks[block % n_banks]
+            free = res._free_at
+            t2 = (t if t > free else free) + mem_occ
+            res._free_at = t2
+            res.busy_cycles += mem_occ
+            res.reservations += 1
+            if grants_exclusive is not None and grants_exclusive(
+                home, e, msg
+            ):
+                xacts[block] = Xact(
+                    kind="fetchinv_read", orig=msg, old_owner=owner
+                )
+                reply(_FETCH_INV, owner, block, t2, requester=req,
+                      grant="MC", prefetch=msg.prefetch)
+            else:
+                xacts[block] = Xact(
+                    kind="fetch_read", orig=msg, old_owner=owner
+                )
+                reply(_FETCH, owner, block, t2, requester=req)
+
+        def make_write_entry(is_rdx):
+            def write_entry(msg, t):
+                block = msg.block
+                if block in xacts:
+                    pending.setdefault(block, deque()).append(msg)
+                    return
+                e = dir_entries.get(block)
+                if e is None:
+                    e = DirectoryEntry(sharers=make_sharers())
+                    dir_entries[block] = e
+                # _handle_write with mem_access inlined and the
+                # needs_data kind test folded per slot
+                req = msg.src
+                if e.state is _MOD:
+                    owner = e.owner
+                    home.memory_accesses += 1
+                    res = banks[block % n_banks]
+                    free = res._free_at
+                    t2 = (t if t > free else free) + mem_occ
+                    res._free_at = t2
+                    res.busy_cycles += mem_occ
+                    res.reservations += 1
+                    if owner == req:
+                        # stale upgrade after an exclusivity grant
+                        reply(_OWN_ACK, req, block, t2)
+                        return
+                    xacts[block] = Xact(
+                        kind="fetchinv_write", orig=msg, old_owner=owner
+                    )
+                    reply(_FETCH_INV, owner, block, t2, requester=req,
+                          grant="X")
+                    return
+                # CLEAN
+                others = e.sharers - {req}
+                if on_own_requested is not None:
+                    on_own_requested(home, e, msg)
+                needs_data = is_rdx or req not in e.sharers
+                home.memory_accesses += 1
+                res = banks[block % n_banks]
+                free = res._free_at
+                t2 = (t if t > free else free) + mem_occ
+                res._free_at = t2
+                res.busy_cycles += mem_occ
+                res.reservations += 1
+                if others:
+                    xacts[block] = Xact(
+                        kind="inv", orig=msg, acks_left=len(others),
+                        needs_data=needs_data, targets=set(others),
+                    )
+                    for node in sorted(others):
+                        reply(_INV, node, block, t2, requester=req)
+                    return
+                # _grant_ownership, inlined
+                e.state = _MOD
+                e.owner = req
+                e.sharers.clear()
+                e.last_writer = req
+                if on_own_granted is not None:
+                    on_own_granted(home, e, req)
+                if needs_data:
+                    reply(_RDX_RPL, req, block, t2)
+                else:
+                    reply(_OWN_ACK, req, block, t2)
+
+            return write_entry
+
+        def wb_entry(msg, t):
+            block = msg.block
+            if block in xacts:
+                pending.setdefault(block, deque()).append(msg)
+                return
+            e = dir_entries.get(block)
+            if e is None:
+                e = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = e
+            handle_writeback(msg, e, t)
+
+        def repl_entry(msg, t):
+            block = msg.block
+            if block in xacts:
+                pending.setdefault(block, deque()).append(msg)
+                return
+            e = dir_entries.get(block)
+            if e is None:
+                e = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = e
+            e.sharers.discard(msg.src)
+
+        def ext_entry(msg, t):
+            block = msg.block
+            if block in xacts:
+                pending.setdefault(block, deque()).append(msg)
+                return
+            e = dir_entries.get(block)
+            if e is None:
+                e = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = e
+            if not (exts and on_home_request(home, msg, e, t)):
+                raise SimulationError(
+                    f"home {home.node_id}: unhandled request {msg.mtype}"
+                )
+
+        def ack_entry(msg, t):
+            # _handle_ack with the directory-entry fetch inlined
+            block = msg.block
+            xact = xacts.get(block)
+            if xact is None:
+                raise SimulationError(
+                    f"home {home.node_id}: stray {msg.mtype} for "
+                    f"block {block}"
+                )
+            entry = dir_entries.get(block)
+            if entry is None:
+                entry = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = entry
+            mtype = msg.mtype
+            if mtype is _XFER_ACK and xact.kind in _FETCH_KINDS:
+                finish_fetch(msg, xact, entry, t)
+                return
+            if mtype is _INV_ACK:
+                if absorb_ack_payload is not None:
+                    t = absorb_ack_payload(home, msg, t)
+                xact.acks_left -= 1
+                if xact.acks_left == 0:
+                    finish_invalidation(block, xact, entry, t)
+                return
+            if on_home_ack is not None and on_home_ack(
+                home, msg, xact, entry, t
+            ):
+                return
+            raise SimulationError(
+                f"home {home.node_id}: unexpected {msg.mtype} for "
+                f"{xact.kind} transaction on block {block}"
+            )
+
+        entry_by_type = {
+            MsgType.RD_REQ: read_entry,
+            MsgType.RDX_REQ: make_write_entry(True),
+            MsgType.OWN_REQ: make_write_entry(False),
+            MsgType.WB: wb_entry,
+            MsgType.REPL: repl_entry,
+        }
+        request_types = home._request_types
+        for mt in HOME_BOUND:
+            if mt in request_types:
+                table[mt] = entry_by_type.get(mt, ext_entry)
+            elif mt not in _SYNC_TYPES:
+                table[mt] = ack_entry
+
+    for dst, node in enumerate(system.nodes):
+        compile_one(node.home, system._deliver_fns[dst])
+
+
+# ----------------------------------------------------------------------
+# FLWB drain pump
+# ----------------------------------------------------------------------
+
+
+def compile_write_drain(system: System) -> None:
+    """Fuse each cache's FLWB drain pump into compiled closures.
+
+    The generic drain costs three frames per buffered write --
+    ``_drain_head`` -> ``_apply_write`` -> the extension pipeline's
+    ``on_write`` loop -- plus an SLC probe through two more calls.
+    Here the SLC line store, the write-state checks and the hook
+    dispatch are folded into one closure per cache: a run without
+    ``on_write`` hooks skips the hook site entirely, a single-hook run
+    (CW's write cache) calls the extension method directly.
+
+    ``_apply_write`` and ``_drain_head`` are installed as instance
+    attributes, so the untouched slow paths (``_pump_drain``,
+    ``_drain_resume``, ``_continue_drain``) transparently re-enter the
+    compiled fast path through their ``self._drain_head`` /
+    ``self._apply_write`` references.
+    """
+    sim = system.sim
+    heap = sim._heap  # invariant: never rebound
+    _DIRTY = CacheState.DIRTY
+    _MIG = CacheState.MIG_CLEAN
+    _INV = CacheState.INVALID
+    _push = heappush
+
+    def compile_one(cache) -> None:
+        flwb = cache.flwb
+        fifo = cache._flwb_fifo
+        popleft = fifo.popleft
+        flwb_cap = flwb.capacity
+        slwb_entries = cache.slwb._entries
+        slwb_cap = cache.slwb.capacity
+        res = cache._slc_res
+        occ = cache._slc_access
+        slc = cache.slc
+        lines_get = slc._lines.get
+        infinite = slc._infinite
+        n_sets = slc._n_sets
+        bs = cache._bsize
+        pending_writes = cache._pending_writes
+        arm_marker = cache._arm_marker
+        notify_space = cache._notify_flwb_space
+        space_waiters = cache._flwb_space_waiters
+        when_slwb_room = cache.when_slwb_room
+        drain_resume = cache._drain_resume
+        issue_ownership = cache._issue_ownership
+        on_write = _hook(cache.extensions, "on_write")
+
+        def apply_write(addr):
+            # CacheController._apply_write with the SLC probe and the
+            # extension hook dispatch folded in
+            block = addr // bs
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV
+            ):
+                line = None
+            if line is not None:
+                state = line.state
+                if state is _DIRTY:
+                    line.modified_since_update = True
+                    return True
+                if state is _MIG:
+                    line.state = _DIRTY
+                    line.modified_since_update = True
+                    return True
+            if on_write is not None:
+                handled = on_write(
+                    cache, block, (addr % bs) // WORD_SIZE, line
+                )
+                if handled is not None:
+                    return handled
+            if block in pending_writes:
+                return True
+            if len(slwb_entries) >= slwb_cap:
+                return False
+            issue_ownership(block, line, None)
+            return True
+
+        def drain_head():
+            # CacheController._drain_head, one frame per drained entry
+            while True:
+                if not fifo:
+                    cache._draining = False
+                    return
+                head = fifo[0]
+                marker = head.marker
+                if marker is not None:
+                    popleft()
+                    arm_marker(marker)
+                elif apply_write(head.addr):
+                    popleft()
+                    flwb._writes -= 1
+                    if space_waiters:
+                        notify_space()
+                else:
+                    when_slwb_room(drain_resume)
+                    return
+                if not fifo:
+                    cache._draining = False
+                    return
+                now = sim.now
+                free = res._free_at
+                t1 = (now if now > free else free) + occ
+                res._free_at = t1
+                res.busy_cycles += occ
+                res.reservations += 1
+                if (heap and heap[0][0] <= t1) or t1 > sim._until:
+                    _push(heap, (t1, sim._seq, drain_head, ()))
+                    sim._seq += 1
+                    return
+                sim.now = t1
+                sim._events_fired += 1
+
+        def buffer_write_at(addr, t):
+            # CacheController.buffer_write_at with _pump_drain inlined
+            writes = flwb._writes + 1
+            if writes > flwb_cap:
+                raise OverflowError("FLWB overflow")
+            flwb._writes = writes
+            if writes > flwb.peak_occupancy:
+                flwb.peak_occupancy = writes
+            fifo.append(FlwbEntry(addr, t))
+            if cache._draining:
+                return
+            cache._draining = True
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            _push(heap, (t1, sim._seq, drain_head, ()))
+            sim._seq += 1
+
+        cache._apply_write = apply_write
+        cache._drain_head = drain_head
+        cache.buffer_write_at = buffer_write_at
+
+    for node in system.nodes:
+        compile_one(node.cache)
+
+
+# ----------------------------------------------------------------------
+# cache-side coherence handlers
+# ----------------------------------------------------------------------
+
+
+def compile_coherence_handlers(system: System) -> None:
+    """Fuse the cache's coherence message handlers into closures.
+
+    ``_on_write_reply``, ``_on_inv`` and ``_on_fetch`` each pay for an
+    SLC probe, a ``slc_finish`` reservation and (for replies) the fill
+    and ``release_slwb`` helpers -- all small calls on per-message
+    paths.  Each is folded into one frame per cache, with the
+    FETCH/FETCH_INV kind test resolved per transport-table slot and
+    the classifier set operations inlined.  ``_issue_ownership`` (the
+    write path's sole remaining helper) is compiled too and installed
+    as an instance attribute, so both the compiled drain and the
+    generic SC write path pick it up.
+    """
+    sim = system.sim
+    heap = sim._heap  # invariant: never rebound
+    _push = heappush
+    _INV_STATE = CacheState.INVALID
+    _DIRTY = CacheState.DIRTY
+    _SHARED = CacheState.SHARED
+    _OWNERSHIP = SlwbKind.OWNERSHIP
+    _OWN_REQ = MsgType.OWN_REQ
+    _RDX_REQ = MsgType.RDX_REQ
+    _INV_ACK = MsgType.INV_ACK
+    _RD_RPL = MsgType.RD_RPL
+    _RDX_RPL = MsgType.RDX_RPL
+    _XFER_ACK = MsgType.XFER_ACK
+
+    def compile_one(cache, table) -> None:
+        stats = cache.stats
+        res = cache._slc_res
+        occ = cache._slc_access
+        slc = cache.slc
+        lines_get = slc._lines.get
+        infinite = slc._infinite
+        n_sets = slc._n_sets
+        slc_invalidate = slc.invalidate
+        flc_fill = cache.flc.fill
+        flc_invalidate = cache.flc.invalidate
+        flc_fill_t = cache._flc_fill
+        pending_reads = cache._pending_reads
+        pr_get = pending_reads.get
+        pending_writes = cache._pending_writes
+        pw_get = pending_writes.get
+        victims = cache._victims
+        slwb = cache.slwb
+        slwb_entries = slwb._entries
+        slwb_cap = slwb.capacity
+        slwb_waiters = cache._slwb_waiters
+        eid_markers = cache._eid_markers
+        marker_progress = cache._marker_progress
+        classifier = cache.classifier
+        ever_cached = classifier._ever_cached
+        lost_coh = classifier._lost_to_coherence
+        lost_ev = classifier._lost_to_eviction
+        send_home = cache.send_home  # compiled by compile_send_helpers
+        reply = cache.reply
+        evict = cache._evict
+        deliver = cache.deliver
+        pipeline = cache.extensions
+        on_fill = _hook(pipeline, "on_fill")
+        on_invalidate = _hook(pipeline, "on_invalidate")
+
+        def issue_ownership(block, line, sc_waiter):
+            # CacheController._issue_ownership, SLWB alloc inlined
+            eid = slwb._next_id
+            slwb._next_id = eid + 1
+            slwb_entries[eid] = _OWNERSHIP
+            occupancy = len(slwb_entries)
+            if occupancy > slwb.peak_occupancy:
+                slwb.peak_occupancy = occupancy
+            stats.ownership_requests += 1
+            pending_writes[block] = _PendingWrite(
+                block=block, slwb_id=eid, start=sim.now,
+                sc_waiter=sc_waiter,
+            )
+            if line is not None or block in pending_reads:
+                send_home(_OWN_REQ, block)
+            else:
+                send_home(_RDX_REQ, block)
+
+        def on_write_reply(msg, t):
+            # CacheController._on_write_reply with slc_finish, the
+            # fill and release_slwb inlined
+            block = msg.block
+            pw = pending_writes.pop(block, None)
+            if pw is None:
+                raise SimulationError(
+                    f"stray {msg.mtype} for block {block}"
+                )
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV_STATE
+            ):
+                line = None
+            if line is None:
+                # _fill, inlined
+                line, victim = slc.insert(block, _DIRTY)
+                ever_cached.add(block)
+                lost_coh.discard(block)
+                lost_ev.discard(block)
+                if on_fill is not None:
+                    on_fill(cache, line)
+                if victim is not None:
+                    evict(victim)
+            else:
+                line.state = _DIRTY
+            line.modified_since_update = True
+            line.prefetched = False
+            if pw.read_waiters:
+                flc_fill(block)
+                done = t1 + flc_fill_t
+                for cb in pw.read_waiters:
+                    _push(heap, (done, sim._seq, cb, ()))
+                    sim._seq += 1
+            if pw.sc_waiter is not None:
+                _push(heap, (t1, sim._seq, pw.sc_waiter, ()))
+                sim._seq += 1
+            # release_slwb, inlined
+            eid = pw.slwb_id
+            del slwb_entries[eid]
+            if eid_markers:
+                marker_progress(eid)
+            while slwb_waiters and len(slwb_entries) < slwb_cap:
+                slwb_waiters.popleft()()
+            for deferred in pw.deferred:
+                _push(heap, (t1, sim._seq, deliver, (deferred, t1)))
+                sim._seq += 1
+
+        def on_inv(msg, t):
+            # CacheController._on_inv with the classifier inlined
+            block = msg.block
+            stats.invalidations_received += 1
+            words = (
+                on_invalidate(cache, block)
+                if on_invalidate is not None else 0
+            )
+            line = slc_invalidate(block)
+            if line is not None:
+                lost_coh.add(block)
+                lost_ev.discard(block)
+                flc_invalidate(block)
+            pr = pr_get(block)
+            if pr is not None:
+                pr.invalidated = True
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            reply(_INV_ACK, msg.src, block, t1, words=words)
+
+        def make_fetch(is_inv):
+            def on_fetch(msg, t):
+                # CacheController._on_fetch with the kind test folded
+                # per slot (see the generic method for the deferral
+                # and victim-buffer reasoning)
+                block = msg.block
+                line = lines_get(block if infinite else block % n_sets)
+                if line is not None and (
+                    line.block != block or line.state is _INV_STATE
+                ):
+                    line = None
+                in_victims = block in victims
+                if line is None and not in_victims:
+                    pr = pr_get(block)
+                    if pr is not None:
+                        pr.deferred.append(msg)
+                        return
+                    pw = pw_get(block)
+                    if pw is not None:
+                        pw.deferred.append(msg)
+                        return
+                free = res._free_at
+                t1 = (t if t > free else free) + occ
+                res._free_at = t1
+                res.busy_cycles += occ
+                res.reservations += 1
+                if line is not None and not in_victims:
+                    was_modified = line.state is _DIRTY
+                    dropped = False
+                    if is_inv:
+                        slc_invalidate(block)
+                        flc_invalidate(block)
+                        lost_coh.add(block)
+                        lost_ev.discard(block)
+                        dropped = True
+                    else:
+                        line.state = _SHARED
+                        line.modified_since_update = False
+                elif in_victims:
+                    was_modified = victims[block]
+                    dropped = True
+                else:
+                    raise SimulationError(
+                        f"cache {cache.node_id}: FETCH for absent "
+                        f"block {block}"
+                    )
+                if msg.requester >= 0:
+                    rtype = _RDX_RPL if msg.grant == "X" else _RD_RPL
+                    reply(rtype, msg.requester, block, t1,
+                          grant=msg.grant)
+                reply(_XFER_ACK, msg.src, block, t1,
+                      was_modified=was_modified, drop=dropped)
+
+            return on_fetch
+
+        def slc_finish(t):
+            # CacheController.slc_finish with the FCFS reservation
+            # inlined; extension code reaches it through the instance
+            # attribute, so CW/M/P message handlers get it for free
+            free = res._free_at
+            end = (t if t > free else free) + occ
+            res._free_at = end
+            res.busy_cycles += occ
+            res.reservations += 1
+            return end
+
+        def release_slwb(eid):
+            # CacheController.release_slwb, one frame
+            del slwb_entries[eid]
+            if eid_markers:
+                marker_progress(eid)
+            while slwb_waiters and len(slwb_entries) < slwb_cap:
+                slwb_waiters.popleft()()
+
+        fetch = make_fetch(False)
+        fetch_inv = make_fetch(True)
+        cache._issue_ownership = issue_ownership
+        cache.slc_finish = slc_finish
+        cache.release_slwb = release_slwb
+        handlers = cache._handlers
+        handlers[MsgType.RDX_RPL] = on_write_reply
+        handlers[MsgType.OWN_ACK] = on_write_reply
+        handlers[MsgType.INV] = on_inv
+        handlers[MsgType.FETCH] = fetch
+        handlers[MsgType.FETCH_INV] = fetch_inv
+        table[MsgType.RDX_RPL] = on_write_reply
+        table[MsgType.OWN_ACK] = on_write_reply
+        table[MsgType.INV] = on_inv
+        table[MsgType.FETCH] = fetch
+        table[MsgType.FETCH_INV] = fetch_inv
+
+    for dst, node in enumerate(system.nodes):
+        compile_one(node.cache, system._deliver_fns[dst])
+
+
+# ----------------------------------------------------------------------
+# competitive-update (CW) message paths
+# ----------------------------------------------------------------------
+
+
+def compile_competitive(system: System) -> None:
+    """Fuse the CW extension's per-message paths into closures.
+
+    CW is the only extension that owns home replies (``UPD_PROP``,
+    ``MIG_QUERY``, ``WC_ACK``) and home requests (``WC_FLUSH``), so the
+    generic chain -- table fallback -> ``on_home_reply`` kind dispatch
+    -> handler -> small ``ctrl`` helpers -- can collapse to one fused
+    closure per transport-table slot, exactly like the base-protocol
+    handlers.  The write-side helpers (``on_write``, ``_queue_flush``,
+    ``_issue_flush``) are compiled per write-cache variant and
+    installed on the extension instance, where both the compiled drain
+    and the generic release path pick them up.
+
+    Protocols without CW are untouched.
+    """
+    from repro.core.extensions.competitive_ext import CompetitiveExtension
+    from repro.core.migratory import wants_interrogation
+    from repro.mem.write_cache import WriteCacheEntry
+
+    sim = system.sim
+    _INV_STATE = CacheState.INVALID
+    _DIRTY = CacheState.DIRTY
+    _MOD = MemoryState.MODIFIED
+    _WC_FLUSH_KIND = SlwbKind.WC_FLUSH
+    _WC_FLUSH = MsgType.WC_FLUSH
+    _WC_ACK = MsgType.WC_ACK
+    _UPD_ACK = MsgType.UPD_ACK
+    _UPD_PROP = MsgType.UPD_PROP
+    _MIG_QUERY = MsgType.MIG_QUERY
+    _MIG_RPL = MsgType.MIG_RPL
+    _FETCH = MsgType.FETCH
+
+    def compile_cache_side(cache, ext, table) -> None:
+        stats = cache.stats
+        res = cache._slc_res
+        occ = cache._slc_access
+        slc = cache.slc
+        lines_get = slc._lines.get
+        infinite = slc._infinite
+        n_sets = slc._n_sets
+        slc_invalidate = slc.invalidate
+        flc_invalidate = cache.flc.invalidate
+        pending_reads = cache._pending_reads
+        slwb = cache.slwb
+        slwb_entries = slwb._entries
+        slwb_cap = slwb.capacity
+        eid_markers = cache._eid_markers
+        marker_progress = cache._marker_progress
+        slwb_waiters = cache._slwb_waiters
+        classifier = cache.classifier
+        lost_coh = classifier._lost_to_coherence
+        lost_ev = classifier._lost_to_eviction
+        reply = cache.reply  # compiled by compile_send_helpers
+        send_home = cache.send_home
+        hold_marker = cache.hold_marker
+        retry_read = cache.retry_read
+        relinquish = cache.relinquish_ownership
+        when_slwb_room = cache.when_slwb_room
+        wcache = ext.wcache
+        policy = ext.policy
+        policy_on_update = policy.on_update
+        policy_access = policy.on_local_access
+        pending_flushes = ext._pending_flushes
+        flush_queue = ext._flush_queue
+        read_waiters = ext._read_waiters
+        drain_flush_queue = ext._drain_flush_queue
+
+        def issue_flush(entry, markers):
+            # CompetitiveExtension._issue_flush, SLWB alloc inlined
+            eid = slwb._next_id
+            slwb._next_id = eid + 1
+            slwb_entries[eid] = _WC_FLUSH_KIND
+            occupancy = len(slwb_entries)
+            if occupancy > slwb.peak_occupancy:
+                slwb.peak_occupancy = occupancy
+            stats.write_cache_flushes += 1
+            pending_flushes.setdefault(entry.block, deque()).append(eid)
+            for marker in markers:
+                hold_marker(eid, marker)
+            send_home(_WC_FLUSH, entry.block,
+                      words=len(entry.dirty_words))
+
+        def queue_flush(entry, markers):
+            if len(slwb_entries) < slwb_cap:
+                issue_flush(entry, markers)
+            else:
+                flush_queue.append((entry, markers))
+                when_slwb_room(drain_flush_queue)
+
+        if wcache is not None:
+            wcache_write = wcache.write
+
+            def on_write(ctrl, block, word, line):
+                # write-cache variant of CompetitiveExtension.on_write
+                if line is not None:
+                    policy_access(line, modifying=True)
+                victim = wcache_write(block, word, had_copy=line is not None)
+                if victim is not None:
+                    queue_flush(victim, [])
+                return True
+
+        else:
+
+            def on_write(ctrl, block, word, line):
+                # ref [10]'s variant: one single-word update per write
+                if len(slwb_entries) >= slwb_cap:
+                    return False
+                if line is not None:
+                    policy_access(line, modifying=True)
+                issue_flush(
+                    WriteCacheEntry(
+                        block=block, dirty_words={word},
+                        had_copy=line is not None,
+                    ),
+                    [],
+                )
+                return True
+
+        def on_update(msg, t):
+            # CompetitiveExtension._on_update, one frame
+            block = msg.block
+            stats.updates_received += 1
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV_STATE
+            ):
+                line = None
+            if line is None:
+                drop = block not in pending_reads
+            else:
+                drop = policy_on_update(line)
+                # keep local activity visible to the counter
+                flc_invalidate(block)
+                if drop:
+                    slc_invalidate(block)
+                    lost_coh.add(block)
+                    lost_ev.discard(block)
+                    stats.updates_dropped += 1
+            reply(_UPD_ACK, msg.src, block, t1, drop=drop)
+
+        def on_mig_query(msg, t):
+            # CompetitiveExtension._on_mig_query, one frame
+            block = msg.block
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV_STATE
+            ):
+                line = None
+            words = 0
+            if line is None and block in pending_reads:
+                give_up = False  # a fresh copy is on its way to us
+            elif line is None:
+                give_up = True
+            elif line.modified_since_update or (
+                wcache is not None and wcache.lookup(block) is not None
+            ):
+                give_up = True  # modified since the last update (§3.4)
+                if wcache is not None:
+                    entry = wcache.remove(block)
+                    if entry is not None:
+                        words = len(entry.dirty_words)
+                slc_invalidate(block)
+                flc_invalidate(block)
+                lost_coh.add(block)
+                lost_ev.discard(block)
+            else:
+                give_up = False
+            reply(_MIG_RPL, msg.src, block, t1, give_up=give_up,
+                  words=words)
+
+        def on_wc_ack(msg, t):
+            # CompetitiveExtension._on_wc_ack with release_slwb and
+            # _flush_in_flight inlined
+            block = msg.block
+            fifo = pending_flushes.get(block)
+            if not fifo:
+                raise SimulationError(f"stray WC_ACK for block {block}")
+            eid = fifo.popleft()
+            if not fifo:
+                del pending_flushes[block]
+            if msg.exclusive:
+                line = lines_get(block if infinite else block % n_sets)
+                if line is not None and (
+                    line.block != block or line.state is _INV_STATE
+                ):
+                    line = None
+                if line is not None:
+                    line.state = _DIRTY
+                    line.modified_since_update = True
+                else:
+                    # the copy was victimized while the flush was in
+                    # flight: relinquish the surprise ownership
+                    relinquish(block)
+            # release_slwb, inlined (may re-issue a queued flush)
+            del slwb_entries[eid]
+            if eid_markers:
+                marker_progress(eid)
+            while slwb_waiters and len(slwb_entries) < slwb_cap:
+                slwb_waiters.popleft()()
+            if block not in pending_flushes and not any(
+                e2.block == block for e2, _m in flush_queue
+            ):
+                for cb, t0 in read_waiters.pop(block, ()):
+                    retry_read(block, cb, t0)
+
+        ext._issue_flush = issue_flush
+        ext._queue_flush = queue_flush
+        ext.on_write = on_write
+        table[_UPD_PROP] = on_update
+        table[_MIG_QUERY] = on_mig_query
+        table[_WC_ACK] = on_wc_ack
+
+    def compile_home_side(home, ext, table) -> None:
+        xacts = home._xacts
+        pending = home._pending
+        dir_entries = home._dir_entries
+        make_sharers = home._make_sharers
+        banks = home._banks
+        n_banks = home._n_banks
+        mem_occ = home._mem_occ
+        reply = home.reply  # compiled by compile_send_helpers
+        protocol = ext._protocol
+        finish_flush_sole = ext._finish_flush_sole
+
+        def wc_flush_entry(msg, t):
+            # transient check + entry fetch + the WC_FLUSH half of
+            # CompetitiveExtension.on_home_request, one frame
+            block = msg.block
+            if block in xacts:
+                pending.setdefault(block, deque()).append(msg)
+                return
+            e = dir_entries.get(block)
+            if e is None:
+                e = DirectoryEntry(sharers=make_sharers())
+                dir_entries[block] = e
+            src = msg.src
+            home.memory_accesses += 1
+            res = banks[block % n_banks]
+            free = res._free_at
+            t2 = (t if t > free else free) + mem_occ
+            res._free_at = t2
+            res.busy_cycles += mem_occ
+            res.reservations += 1
+            if e.state is _MOD:
+                if e.owner == src:
+                    # flusher already owns the block exclusively
+                    reply(_WC_ACK, src, block, t2, exclusive=True)
+                    return
+                # dirty elsewhere: demote first, then replay
+                xacts[block] = Xact(
+                    kind="fetch_flush", orig=msg, old_owner=e.owner
+                )
+                reply(_FETCH, e.owner, block, t2, requester=-1)
+                return
+            others = e.sharers - {src}
+            wants_migq = wants_interrogation(protocol, e, msg)
+            e.last_updater = src
+            if wants_migq:
+                # §3.4: interrogate every other copy holder
+                xacts[block] = Xact(
+                    kind="migq", orig=msg, acks_left=len(others),
+                    targets=set(others),
+                )
+                for node in sorted(others):
+                    reply(_MIG_QUERY, node, block, t2)
+                return
+            if not others:
+                finish_flush_sole(home, msg, e, t2)
+                return
+            xacts[block] = Xact(
+                kind="upd", orig=msg, acks_left=len(others),
+                targets=set(others),
+            )
+            for node in sorted(others):
+                reply(_UPD_PROP, node, block, t2, words=msg.words)
+
+        table[_WC_FLUSH] = wc_flush_entry
+
+    for dst, node in enumerate(system.nodes):
+        table = system._deliver_fns[dst]
+        cw = next(
+            (e for e in node.cache._exts
+             if isinstance(e, CompetitiveExtension)),
+            None,
+        )
+        if cw is not None:
+            compile_cache_side(node.cache, cw, table)
+        home_cw = next(
+            (e for e in node.home._exts
+             if isinstance(e, CompetitiveExtension)),
+            None,
+        )
+        if home_cw is not None:
+            compile_home_side(node.home, home_cw, table)
+
+
+# ----------------------------------------------------------------------
+# demand-read path
+# ----------------------------------------------------------------------
+
+
+def compile_read_path(system: System) -> None:
+    """Fuse each cache's demand-read path into compiled closures.
+
+    Three closures per cache, each line-for-line the generic chain it
+    replaces with the per-run constants folded in:
+
+    * ``read_at`` -- the processor-facing probe (FLC, FLWB forward,
+      SLC reservation + elision, hit fill) with the miss path falling
+      through into the fused ``demand_miss`` below,
+    * ``_slc_read`` -- the scheduled (non-elided) SLC lookup,
+    * ``demand_miss`` -- ``_demand_miss`` and the common immediate
+      ``_issue_demand`` in one frame: miss classification against the
+      classifier's sets, the SLWB allocation, the pending-read entry
+      and the RD_REQ send (itself compiled).  The SLWB-full detour
+      still defers to the generic ``_issue_demand``.
+    * the ``RD_RPL`` handler -- pending-read retirement, the fill (or
+      the invalidated-race fallback), waiter wakeup and the inlined
+      ``release_slwb``, installed in the transport table and in
+      ``_handlers`` so deferred redeliveries take the same path.
+
+    Extension hook sites are specialized through :func:`_hook`.
+    """
+    sim = system.sim
+    heap = sim._heap  # invariant: never rebound
+    _push = heappush
+    _INV = CacheState.INVALID
+    _SHARED = CacheState.SHARED
+    _MC = CacheState.MIG_CLEAN
+    _READ = SlwbKind.READ
+    _RD_REQ = MsgType.RD_REQ
+
+    def compile_one(cache, table) -> None:
+        stats = cache.stats
+        flc_get = cache._flc_sets.get
+        flc_nsets = cache._flc_nsets
+        flc_hit = cache._flc_hit
+        flc_fill_t = cache._flc_fill
+        flc_fill = cache.flc.fill
+        occ = cache._slc_access
+        res = cache._slc_res
+        fifo = cache._flwb_fifo
+        contains_write_to = cache.flwb.contains_write_to
+        slc = cache.slc
+        lines_get = slc._lines.get
+        infinite = slc._infinite
+        n_sets = slc._n_sets
+        bs = cache._bsize
+        pr_get = cache._pending_reads.get
+        pending_reads = cache._pending_reads
+        pw_get = cache._pending_writes.get
+        slwb = cache.slwb
+        slwb_entries = slwb._entries
+        slwb_cap = slwb.capacity
+        slwb_waiters = cache._slwb_waiters
+        eid_markers = cache._eid_markers
+        marker_progress = cache._marker_progress
+        classifier = cache.classifier
+        ever_cached = classifier._ever_cached
+        lost_coh = classifier._lost_to_coherence
+        lost_ev = classifier._lost_to_eviction
+        send_home = cache.send_home  # compiled by compile_send_helpers
+        issue_demand = cache._issue_demand
+        evict = cache._evict
+        deliver = cache.deliver
+        pipeline = cache.extensions
+        on_read_hit = _hook(pipeline, "on_read_hit")
+        absorbs_read = _hook(pipeline, "absorbs_read")
+        defers_read = _hook(pipeline, "defers_read")
+        on_read_merged = _hook(pipeline, "on_read_merged")
+        on_demand_miss = _hook(pipeline, "on_demand_miss")
+        on_miss_issued = _hook(pipeline, "on_miss_issued")
+        on_fill = _hook(pipeline, "on_fill")
+
+        def demand_miss(block, on_done, t0):
+            # _demand_miss + the immediate _issue_demand, one frame
+            stats.demand_read_misses += 1
+            if block not in ever_cached:
+                stats.cold_misses += 1
+            elif block in lost_coh:
+                stats.coherence_misses += 1
+            else:
+                stats.replacement_misses += 1
+            if on_demand_miss is not None:
+                on_demand_miss(cache, block)
+            if len(slwb_entries) >= slwb_cap:
+                slwb_waiters.append(
+                    lambda: issue_demand(block, on_done, t0)
+                )
+                return
+            # _issue_demand: the state may have moved, re-check exactly
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and line.block == block \
+                    and line.state is not _INV:
+                _push(heap, (sim.now, sim._seq, on_done, ()))
+                sim._seq += 1
+                return
+            pr = pr_get(block)
+            if pr is not None:
+                pr.demand_waiters.append(on_done)
+                return
+            pw = pw_get(block)
+            if pw is not None:
+                pw.read_waiters.append(on_done)
+                return
+            if defers_read is not None and defers_read(
+                cache, block, on_done, t0
+            ):
+                return
+            # slwb.alloc(READ), inlined (room was checked above)
+            eid = slwb._next_id
+            slwb._next_id = eid + 1
+            slwb_entries[eid] = _READ
+            occupancy = len(slwb_entries)
+            if occupancy > slwb.peak_occupancy:
+                slwb.peak_occupancy = occupancy
+            pending_reads[block] = _PendingRead(
+                block=block, slwb_id=eid, is_prefetch=False,
+                start=t0, demand_waiters=[on_done],
+            )
+            send_home(_RD_REQ, block)
+            if on_miss_issued is not None:
+                on_miss_issued(cache, block)
+
+        def slc_read(block, on_done, t0):
+            # CacheController._slc_read with probes and hooks folded
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV
+            ):
+                line = None
+            if line is not None:
+                if on_read_hit is not None:
+                    on_read_hit(cache, line)
+                flc_fill(block)
+                _push(heap, (sim.now + flc_fill_t, sim._seq, on_done, ()))
+                sim._seq += 1
+                return
+            if absorbs_read is not None and absorbs_read(cache, block):
+                _push(heap, (sim.now + flc_fill_t, sim._seq, on_done, ()))
+                sim._seq += 1
+                return
+            pr = pr_get(block)
+            if pr is not None:
+                if on_read_merged is not None:
+                    on_read_merged(cache, pr)
+                pr.demand_waiters.append(on_done)
+                return
+            pw = pw_get(block)
+            if pw is not None:
+                pw.read_waiters.append(on_done)
+                return
+            if defers_read is not None and defers_read(
+                cache, block, on_done, t0
+            ):
+                return
+            demand_miss(block, on_done, t0)
+
+        def read_at(addr, t, on_done):
+            # CacheController.read_at, fully folded
+            block = addr // bs
+            if flc_get(block % flc_nsets) == block:
+                return t + flc_hit
+            if fifo and contains_write_to(addr):
+                stats.flwb_forwards += 1
+                return t + flc_hit
+            ready = t + flc_hit
+            free = res._free_at
+            t1 = (ready if ready > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            if (heap and heap[0][0] <= t1) or t1 > sim._until:
+                _push(heap, (t1, sim._seq, slc_read, (block, on_done, t)))
+                sim._seq += 1
+                return -1
+            sim.now = t1
+            sim._events_fired += 1
+            line = lines_get(block if infinite else block % n_sets)
+            if line is not None and (
+                line.block != block or line.state is _INV
+            ):
+                line = None
+            if line is not None:
+                if on_read_hit is not None:
+                    on_read_hit(cache, line)
+                flc_fill(block)
+            elif absorbs_read is not None and absorbs_read(cache, block):
+                pass  # resolved from the write cache, no FLC fill
+            else:
+                pr = pr_get(block)
+                if pr is not None:
+                    if on_read_merged is not None:
+                        on_read_merged(cache, pr)
+                    pr.demand_waiters.append(on_done)
+                    return -1
+                pw = pw_get(block)
+                if pw is not None:
+                    pw.read_waiters.append(on_done)
+                    return -1
+                if defers_read is not None and defers_read(
+                    cache, block, on_done, t
+                ):
+                    return -1
+                demand_miss(block, on_done, t)
+                return -1
+            t_done = t1 + flc_fill_t
+            if (not heap or heap[0][0] > t_done) and t_done <= sim._until:
+                sim.now = t_done
+                return t_done
+            _push(heap, (t_done, sim._seq, on_done, ()))
+            sim._seq += 1
+            return -1
+
+        def on_rd_rpl(msg, t):
+            # CacheController._on_rd_rpl with slc_finish, the fill and
+            # release_slwb inlined
+            block = msg.block
+            pr = pending_reads.pop(block, None)
+            if pr is None:
+                raise SimulationError(f"stray RD_RPL for block {block}")
+            free = res._free_at
+            t1 = (t if t > free else free) + occ
+            res._free_at = t1
+            res.busy_cycles += occ
+            res.reservations += 1
+            state = _MC if msg.grant == "MC" else _SHARED
+            demand = bool(pr.demand_waiters) or pr.merged_prefetch
+            if pr.invalidated and state is not _MC:
+                # invalidation raced the shared data (see the generic
+                # method for the serialization argument)
+                ever_cached.add(block)
+                lost_coh.add(block)
+                lost_ev.discard(block)
+            else:
+                # _fill, inlined
+                line, victim = slc.insert(block, state)
+                ever_cached.add(block)
+                lost_coh.discard(block)
+                lost_ev.discard(block)
+                if on_fill is not None:
+                    on_fill(cache, line)
+                if victim is not None:
+                    evict(victim)
+                line.prefetched = pr.is_prefetch and not demand
+            if pr.demand_waiters:
+                done = t1 + flc_fill_t
+                if not pr.invalidated:
+                    flc_fill(block)
+                stats.read_miss_latency_total += done - pr.start
+                stats.read_miss_latency_count += 1
+                for cb in pr.demand_waiters:
+                    _push(heap, (done, sim._seq, cb, ()))
+                    sim._seq += 1
+            # release_slwb, inlined
+            eid = pr.slwb_id
+            del slwb_entries[eid]
+            if eid_markers:
+                marker_progress(eid)
+            while slwb_waiters and len(slwb_entries) < slwb_cap:
+                slwb_waiters.popleft()()
+            for deferred in pr.deferred:
+                _push(heap, (t1, sim._seq, deliver, (deferred, t1)))
+                sim._seq += 1
+
+        cache.read_at = read_at
+        cache._slc_read = slc_read
+        cache._demand_miss = demand_miss
+        cache._handlers[MsgType.RD_RPL] = on_rd_rpl
+        table[MsgType.RD_RPL] = on_rd_rpl
+
+    for dst, node in enumerate(system.nodes):
+        compile_one(node.cache, system._deliver_fns[dst])
+
+
+# ----------------------------------------------------------------------
+# processor issue loop
+# ----------------------------------------------------------------------
+
+
+def specialize_processor(proc: Processor) -> None:
+    """Rebind ``proc._next`` to a compiled issue loop.
+
+    Semantics identical to :meth:`Processor._next` (see its docstring
+    for the crossing rule); the compiled form iterates the stream with
+    ``for`` instead of explicit ``next()`` calls and keeps the
+    crossing bound ``lim = min(heap_head - 1, horizon)`` cached across
+    ops that provably cannot schedule events (think ops, FLC-hit
+    probes), re-deriving it only after calls into the cache.
+    """
+    sim = proc._sim
+    heap = sim._heap  # invariant: never rebound
+    gen = proc._gen
+    stats = proc.stats
+    cache = proc._cache
+    flwb = proc._flwb
+    flc_sets = proc._flc_sets
+    flc_nsets = proc._flc_nsets
+    bsize = proc._bsize
+    flc_hit = proc._flc_hit
+    sc = proc._sc
+    n_procs = proc._n_procs
+    read_done = proc._read_done
+    write_done = proc._write_done
+    acquire_done = proc._acquire_done
+    release_done = proc._release_done
+    barrier_done = proc._barrier_done
+    write_retry = proc._write_retry
+    on_finish = proc._on_finish
+    read_at = cache.read_at
+    buffer_write_at = cache.buffer_write_at
+    write_blocking_at = cache.write_blocking_at
+    when_write_space = cache.when_write_space
+    acquire_at = cache.acquire_at
+    release_at = cache.release_at
+    barrier_at = cache.barrier_at
+    sets_get = flc_sets.get
+
+    def _next(_push=heappush):
+        horizon = sim._until
+        t = sim.now
+        credits = 0
+        busy = 0
+        nreads = 0
+        nwrites = 0
+        # inline consumption is allowed up to ``lim``: one compare per
+        # op replaces the generic loop's heap peek + horizon test
+        if heap:
+            ht = heap[0][0] - 1
+            lim = ht if ht < horizon else horizon
+        else:
+            lim = horizon
+        for op in gen:
+            kind = op[0]
+            if kind == "think":
+                dt = op[1]
+                busy += dt
+                t2 = t + dt
+            elif kind == "read":
+                nreads += 1
+                block = op[1] // bsize
+                if sets_get(block % flc_nsets) == block:
+                    # FLC hit, probed without leaving the loop (the
+                    # first check ``read_at`` would make, so skipping
+                    # the call is exact)
+                    busy += flc_hit
+                    t2 = t + flc_hit
+                else:
+                    t2 = read_at(op[1], t, read_done)
+                    if t2 < 0:
+                        # miss: the controller owns the continuation
+                        proc._issue_t0 = t
+                        stats.busy += busy
+                        stats.shared_reads += nreads
+                        stats.shared_writes += nwrites
+                        if credits:
+                            sim._events_fired += credits
+                        return
+                    # store-to-load forward (dt == flc_hit) or an
+                    # inline SLC hit (dt > flc_hit): same split as
+                    # ``_read_done``
+                    dt = t2 - t
+                    if dt > flc_hit:
+                        busy += flc_hit
+                        stats.read_stall += dt - flc_hit
+                    else:
+                        busy += dt
+                    # the cache call may have scheduled events
+                    if heap:
+                        ht = heap[0][0] - 1
+                        lim = ht if ht < horizon else horizon
+                    else:
+                        lim = horizon
+            elif kind == "write":
+                nwrites += 1
+                if sc:
+                    proc._issue_t0 = t
+                    stats.busy += busy
+                    stats.shared_reads += nreads
+                    stats.shared_writes += nwrites
+                    write_blocking_at(op[1], write_done, t)
+                    if credits:
+                        sim._events_fired += credits
+                    return
+                if flwb._writes < flwb.capacity:
+                    buffer_write_at(op[1], t)
+                    busy += flc_hit
+                    t2 = t + flc_hit
+                    if heap:
+                        ht = heap[0][0] - 1
+                        lim = ht if ht < horizon else horizon
+                    else:
+                        lim = horizon
+                else:
+                    proc._stall_addr = op[1]
+                    proc._stall_t0 = t
+                    stats.busy += busy
+                    stats.shared_reads += nreads
+                    stats.shared_writes += nwrites
+                    when_write_space(write_retry)
+                    if credits:
+                        sim._events_fired += credits
+                    return
+            elif kind == "acquire":
+                stats.acquires += 1
+                proc._issue_t0 = t
+                stats.busy += busy
+                stats.shared_reads += nreads
+                stats.shared_writes += nwrites
+                acquire_at(op[1], acquire_done, t)
+                if credits:
+                    sim._events_fired += credits
+                return
+            elif kind == "release":
+                stats.releases += 1
+                if sc:
+                    proc._issue_t0 = t
+                    stats.busy += busy
+                    stats.shared_reads += nreads
+                    stats.shared_writes += nwrites
+                    release_at(op[1], t, release_done)
+                    if credits:
+                        sim._events_fired += credits
+                    return
+                # RCpc: the release is inserted and the processor
+                # continues after the FLC write-through
+                release_at(op[1], t)
+                busy += flc_hit
+                t2 = t + flc_hit
+                if heap:
+                    ht = heap[0][0] - 1
+                    lim = ht if ht < horizon else horizon
+                else:
+                    lim = horizon
+            elif kind == "barrier":
+                stats.barriers += 1
+                proc._issue_t0 = t
+                stats.busy += busy
+                stats.shared_reads += nreads
+                stats.shared_writes += nwrites
+                barrier_at(op[1], n_procs, barrier_done, t)
+                if credits:
+                    sim._events_fired += credits
+                return
+            else:
+                raise SimulationError(f"unknown workload op {op!r}")
+            if t2 > lim:
+                # a queued event (or the run horizon) falls inside the
+                # window: fall back to a real completion event at t2
+                stats.busy += busy
+                stats.shared_reads += nreads
+                stats.shared_writes += nwrites
+                if credits:
+                    sim._events_fired += credits
+                _push(heap, (t2, sim._seq, _next, ()))
+                sim._seq += 1
+                return
+            t = t2
+            credits += 1
+        # stream exhausted at boundary ``t``; the crossing rule
+        # guarantees nothing fires before ``t``, so finishing inline
+        # is indistinguishable from the elided completion event.
+        proc.finished = True
+        stats.finish_time = t
+        stats.busy += busy
+        stats.shared_reads += nreads
+        stats.shared_writes += nwrites
+        if credits:
+            sim._events_fired += credits
+        on_finish(proc.node_id)
+
+    proc._advance = _next
+
+
+class SpecializedSystem(System):
+    """A ``System`` with build-time-compiled dispatch.
+
+    Transport, send helpers, home request entries and the processor
+    issue loops are all replaced by per-run closures; every observable
+    counter is bit-identical to :class:`~repro.system.System`.
+    """
+
+    def __init__(self, cfg: SystemConfig) -> None:
+        super().__init__(cfg)
+        send = compile_transport(self)
+        compile_send_helpers(self, send)
+        compile_cache_entries(self)
+        compile_home_entries(self)
+        compile_coherence_handlers(self)
+        compile_competitive(self)
+        compile_write_drain(self)
+        compile_read_path(self)
+
+    def _make_processor(self, i: int, workload: Iterable[Op]) -> Processor:
+        proc = super()._make_processor(i, workload)
+        specialize_processor(proc)
+        return proc

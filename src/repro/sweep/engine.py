@@ -36,11 +36,10 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.sim.backend import get_backend
 from repro.stats.counters import MachineStats
 from repro.sweep.cache import ResultCache
 from repro.sweep.spec import RunResult, RunSpec
-from repro.system import System
-from repro.workloads import build_workload
 
 #: executor names accepted by :class:`SweepEngine`.
 EXECUTORS = ("serial", "process")
@@ -64,13 +63,13 @@ ProgressHook = Callable[[ProgressEvent], None]
 
 
 def execute_spec(spec: RunSpec) -> MachineStats:
-    """Simulate one cell in-process (no cache, no pooling)."""
-    cfg = spec.to_config()
-    streams = build_workload(
-        spec.app, cfg, scale=spec.scale, seed=spec.seed,
-        **dict(spec.workload_kw),
-    )
-    return System(cfg).run(streams)
+    """Simulate one cell in-process (no cache, no pooling).
+
+    Dispatches to the execution backend the spec names (see
+    :mod:`repro.sim.backend`); ``"event"`` reproduces the historical
+    behavior exactly.
+    """
+    return get_backend(spec.backend).execute(spec)
 
 
 def _run_chunk(spec_dicts: list[dict]) -> list[dict]:

@@ -49,7 +49,9 @@ from repro.stats.counters import MachineStats
 #: relies on) changes; every cached result keyed under an older version
 #: becomes unreachable, which is exactly the invalidation we want.
 #: v2: ``directory`` organization field and ``network.mesh_dims``.
-SPEC_SCHEMA_VERSION = 2
+#: v3: ``backend`` execution-tier field (part of the content hash, so
+#: replay-tier results never collide with event-tier results).
+SPEC_SCHEMA_VERSION = 3
 
 #: the paper's seed; kept in one place so the API, the service layer
 #: and every experiment driver agree.
@@ -90,6 +92,9 @@ class RunSpec:
     cache: CacheConfig = field(default_factory=CacheConfig)
     directory: DirectoryConfig = field(default_factory=DirectoryConfig)
     page_placement: str = "round_robin"
+    #: execution backend (see :mod:`repro.sim.backend`): "event",
+    #: "specialized" or "replay".  Part of the content hash.
+    backend: str = "event"
     #: extra workload keyword arguments, stored as a sorted tuple of
     #: (name, value) pairs so equal dicts hash equally.
     workload_kw: tuple[tuple[str, Any], ...] = ()
@@ -98,6 +103,13 @@ class RunSpec:
         if isinstance(self.consistency, Consistency):
             object.__setattr__(self, "consistency", self.consistency.value)
         Consistency(self.consistency)  # validate early
+        from repro.sim.backend import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {', '.join(BACKEND_NAMES)}"
+            )
         # canonicalize the protocol name ("CW+P" -> "P+CW")
         object.__setattr__(
             self, "protocol", ProtocolConfig.from_name(self.protocol).name
@@ -128,6 +140,7 @@ class RunSpec:
         seed: int = DEFAULT_SEED,
         directory: DirectoryConfig | str | None = None,
         page_placement: str = "round_robin",
+        backend: str = "event",
         **workload_kw: Any,
     ) -> "RunSpec":
         """Mirror of the historical ``run_once`` signature."""
@@ -142,6 +155,7 @@ class RunSpec:
             cache=cache or CacheConfig(),
             directory=directory if directory is not None else DirectoryConfig(),
             page_placement=page_placement,
+            backend=backend,
             workload_kw=workload_kw,
         )
 
@@ -171,6 +185,7 @@ class RunSpec:
             "cache": asdict(self.cache),
             "directory": asdict(self.directory),
             "page_placement": self.page_placement,
+            "backend": self.backend,
             "workload_kw": {k: v for k, v in self.workload_kw},
         }
 
@@ -188,6 +203,7 @@ class RunSpec:
             cache=CacheConfig(**d["cache"]),
             directory=DirectoryConfig(**d.get("directory", {})),
             page_placement=d["page_placement"],
+            backend=d.get("backend", "event"),
             workload_kw=d.get("workload_kw", {}),
         )
 
@@ -268,6 +284,8 @@ class RunSpec:
             extras.append(self.directory.name)
         if self.page_placement != "round_robin":
             extras.append(self.page_placement)
+        if self.backend != "event":
+            extras.append(self.backend)
         tail = f" [{','.join(extras)}]" if extras else ""
         return f"{self.app}/{self.protocol}/{self.consistency}{tail}"
 

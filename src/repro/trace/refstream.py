@@ -1,0 +1,236 @@
+"""Shared-reference stream recording: the replay tier's input.
+
+The workload generators are deterministic functions of the workload
+identity (application, processor count, scale, seed, extra workload
+keywords and the block/page geometry the address patterns are laid out
+in).  :class:`ReferenceRecorder` materializes those generators once
+into a :class:`RefTrace`; :class:`TraceStore` keeps traces on disk in a
+compact binary format so that a sweep over N protocol/timing variants
+pays the generation cost once, not N times.
+
+The on-disk format is deliberately boring::
+
+    REPROREF1\\n
+    {"n_procs": 16, "counts": [...], "key": "..."}\\n
+    <little-endian int64 pairs (opcode, operand), proc 0..N-1>
+
+Recording the same :class:`~repro.sweep.spec.RunSpec` twice produces
+byte-identical files (pinned by ``tests/test_refstream.py``), which
+makes trace files safe to content-address and share between worker
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.workloads import build_workload
+
+MAGIC = b"REPROREF1"
+
+#: op-kind encoding; the operand is the think length, address, lock
+#: address or barrier id respectively.
+OP_CODES = {"think": 0, "read": 1, "write": 2,
+            "acquire": 3, "release": 4, "barrier": 5}
+OP_NAMES = {v: k for k, v in OP_CODES.items()}
+
+
+class RefTraceError(ValueError):
+    """A reference-trace file is malformed or mismatched."""
+
+
+def workload_key(spec) -> str:
+    """Content hash of the workload identity a spec describes.
+
+    Two specs that differ only in protocol, consistency, directory,
+    network timing or backend share the same reference stream -- that
+    is the whole point of the replay tier -- so the key covers exactly
+    the fields the generators consume.
+    """
+    ident = {
+        "app": spec.app,
+        "n_procs": spec.n_procs,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "workload_kw": {k: v for k, v in spec.workload_kw},
+        "block_size": spec.cache.block_size,
+        "page_size": spec.cache.page_size,
+    }
+    payload = json.dumps(ident, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class RefTrace:
+    """One workload's materialized per-processor reference streams."""
+
+    __slots__ = ("n_procs", "key", "_streams")
+
+    def __init__(self, streams: Sequence[array], key: str = "") -> None:
+        self.n_procs = len(streams)
+        self.key = key
+        #: one flat ``array('q')`` of (code, operand) pairs per proc.
+        self._streams = list(streams)
+
+    # -- access ---------------------------------------------------------
+
+    def ops(self, proc: int) -> array:
+        """Processor ``proc``'s flat (code, operand) pair array."""
+        return self._streams[proc]
+
+    def n_ops(self, proc: int) -> int:
+        """Number of ops in processor ``proc``'s stream."""
+        return len(self._streams[proc]) // 2
+
+    def total_ops(self) -> int:
+        """Total ops across all processors."""
+        return sum(len(s) for s in self._streams) // 2
+
+    def tuples(self, proc: int) -> list[tuple]:
+        """Processor ``proc``'s stream as (kind, value) tuples."""
+        flat = self._streams[proc]
+        return [
+            (OP_NAMES[flat[i]], flat[i + 1])
+            for i in range(0, len(flat), 2)
+        ]
+
+    # -- serialization --------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-disk format (deterministic)."""
+        meta = {
+            "n_procs": self.n_procs,
+            "counts": [len(s) for s in self._streams],
+            "key": self.key,
+        }
+        head = MAGIC + b"\n" + json.dumps(
+            meta, sort_keys=True, separators=(",", ":")
+        ).encode() + b"\n"
+        body = bytearray()
+        for s in self._streams:
+            if sys.byteorder == "big":
+                s = array("q", s)
+                s.byteswap()
+            body += s.tobytes()
+        return head + bytes(body)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RefTrace":
+        """Inverse of :meth:`to_bytes`."""
+        nl1 = blob.find(b"\n")
+        if nl1 < 0 or blob[:nl1] != MAGIC:
+            raise RefTraceError("missing REPROREF1 magic")
+        nl2 = blob.find(b"\n", nl1 + 1)
+        if nl2 < 0:
+            raise RefTraceError("missing trace metadata line")
+        try:
+            meta = json.loads(blob[nl1 + 1:nl2])
+            counts = meta["counts"]
+            key = meta.get("key", "")
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise RefTraceError(f"bad trace metadata: {exc}") from exc
+        streams = []
+        offset = nl2 + 1
+        for count in counts:
+            if count % 2:
+                raise RefTraceError("odd op-word count")
+            nbytes = count * 8
+            chunk = blob[offset:offset + nbytes]
+            if len(chunk) != nbytes:
+                raise RefTraceError("truncated trace body")
+            s = array("q")
+            s.frombytes(chunk)
+            if sys.byteorder == "big":
+                s.byteswap()
+            streams.append(s)
+            offset += nbytes
+        if offset != len(blob):
+            raise RefTraceError("trailing bytes after trace body")
+        return cls(streams, key=key)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace file."""
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RefTrace":
+        """Read a trace file back."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+
+class ReferenceRecorder:
+    """Materializes a spec's reference streams into a :class:`RefTrace`.
+
+    The recorder drains the workload generators directly -- no
+    simulation happens, so recording costs milliseconds even for cells
+    that take seconds to simulate.
+    """
+
+    def record(self, spec) -> RefTrace:
+        """Record the shared-reference stream ``spec`` describes."""
+        cfg = spec.to_config()
+        streams = build_workload(
+            spec.app, cfg, scale=spec.scale, seed=spec.seed,
+            **dict(spec.workload_kw),
+        )
+        return RefTrace(
+            [self._encode(ops) for ops in streams], key=workload_key(spec)
+        )
+
+    @staticmethod
+    def _encode(ops: Iterable[tuple]) -> array:
+        flat = array("q")
+        codes = OP_CODES
+        for op in ops:
+            code = codes.get(op[0])
+            if code is None:
+                raise RefTraceError(f"cannot record op {op!r}")
+            flat.append(code)
+            flat.append(op[1])
+        return flat
+
+
+class TraceStore:
+    """Content-addressed directory of reference traces.
+
+    Traces are keyed by :func:`workload_key`, so every protocol/timing
+    variant of one workload maps to the same file and concurrent
+    writers race benignly (byte-identical contents, atomic rename).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec) -> Path:
+        """The trace file this spec's workload lives at."""
+        return self.root / f"{workload_key(spec)}.reftrace"
+
+    def get(self, spec) -> RefTrace | None:
+        """The stored trace for this workload, or None."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        trace = RefTrace.load(path)
+        if trace.n_procs != spec.n_procs:
+            raise RefTraceError(
+                f"{path}: trace has {trace.n_procs} streams, "
+                f"spec wants {spec.n_procs}"
+            )
+        return trace
+
+    def get_or_record(self, spec) -> RefTrace:
+        """Load the workload's trace, recording it on first use."""
+        trace = self.get(spec)
+        if trace is not None:
+            return trace
+        trace = ReferenceRecorder().record(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(f".tmp{id(trace)}")
+        tmp.write_bytes(trace.to_bytes())
+        tmp.replace(path)
+        return trace

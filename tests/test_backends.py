@@ -1,0 +1,132 @@
+"""Tests for the execution-backend registry and spec threading.
+
+Covers :mod:`repro.sim.backend` (registry, resolution, trace-dir
+precedence) and the v3 spec schema that carries the backend name
+through the wire form and the content hash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    TRACE_DIR_ENV,
+    EventBackend,
+    ReplayBackend,
+    SpecializedBackend,
+    get_backend,
+)
+from repro.sweep import RunSpec
+from repro.sweep.spec import SPEC_SCHEMA_VERSION, SpecSchemaError
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert BACKEND_NAMES == ("event", "specialized", "replay")
+        assert DEFAULT_BACKEND == "event"
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+
+    def test_exactness_flags(self):
+        assert EventBackend.exact
+        assert SpecializedBackend.exact
+        assert not ReplayBackend.exact
+
+    def test_get_backend(self):
+        assert isinstance(get_backend("event"), EventBackend)
+        assert isinstance(get_backend("specialized"), SpecializedBackend)
+        assert isinstance(get_backend("replay"), ReplayBackend)
+
+    def test_get_backend_default(self):
+        assert isinstance(get_backend(None), EventBackend)
+        assert isinstance(get_backend(""), EventBackend)
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("turbo")
+
+
+class TestTraceDir:
+    def test_explicit_arg_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_DIR_ENV, "/env/dir")
+        assert ReplayBackend(trace_dir=tmp_path).trace_dir == str(tmp_path)
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, "/env/dir")
+        assert ReplayBackend().trace_dir == "/env/dir"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        assert ReplayBackend().trace_dir.endswith("traces")
+
+
+class TestSpecBackendField:
+    def test_default_is_event(self):
+        assert RunSpec.for_run("mp3d").backend == "event"
+
+    def test_every_registered_backend_is_accepted(self):
+        for name in BACKEND_NAMES:
+            assert RunSpec.for_run("mp3d", backend=name).backend == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            RunSpec.for_run("mp3d", backend="turbo")
+
+    def test_backend_is_part_of_the_content_hash(self):
+        keys = {RunSpec.for_run("mp3d", backend=b).key()
+                for b in BACKEND_NAMES}
+        assert len(keys) == len(BACKEND_NAMES)
+
+    def test_label_shows_non_default_backend(self):
+        assert "replay" in RunSpec.for_run("mp3d", backend="replay").label()
+        assert "event" not in RunSpec.for_run("mp3d").label()
+
+
+class TestWireV3:
+    def test_schema_version(self):
+        assert SPEC_SCHEMA_VERSION == 3
+
+    def test_wire_round_trip(self):
+        spec = RunSpec.for_run("mp3d", protocol="P+CW", backend="replay")
+        wire = spec.to_wire()
+        assert wire["v"] == 3
+        assert wire["backend"] == "replay"
+        assert RunSpec.from_wire(wire) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_stale_v2_payload_rejected(self):
+        wire = RunSpec.for_run("mp3d").to_wire()
+        wire["v"] = 2
+        with pytest.raises(SpecSchemaError, match="schema version"):
+            RunSpec.from_wire(wire)
+
+    def test_payload_with_bad_backend_rejected(self):
+        wire = RunSpec.for_run("mp3d").to_wire()
+        wire["backend"] = "turbo"
+        with pytest.raises(SpecSchemaError, match="invalid spec payload"):
+            RunSpec.from_wire(wire)
+
+    def test_from_dict_defaults_backend_to_event(self):
+        d = RunSpec.for_run("mp3d").to_dict()
+        del d["backend"]
+        assert RunSpec.from_dict(d).backend == "event"
+
+
+class TestExecution:
+    def test_event_and_specialized_agree(self):
+        spec = RunSpec.for_run("mp3d", protocol="P+CW+M", n_procs=4,
+                               scale=0.05)
+        ev = get_backend("event").execute(spec)
+        sp = get_backend("specialized").execute(spec)
+        assert sp.to_dict() == ev.to_dict()
+
+    def test_replay_executes_from_its_trace_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        spec = RunSpec.for_run("mp3d", n_procs=4, scale=0.05,
+                               backend="replay")
+        stats = get_backend("replay").execute(spec)
+        assert stats.execution_time > 0
+        assert list(tmp_path.glob("*.reftrace"))

@@ -12,6 +12,7 @@ from repro.bench import (
     load_result,
     run_cell,
     run_matrix,
+    unmatched,
     write_result,
 )
 from repro.cli import build_parser
@@ -43,6 +44,31 @@ class TestRunCell:
         assert a["events"] == b["events"]
         assert a["execution_time"] == b["execution_time"]
 
+    def test_backend_recorded(self):
+        cell = run_cell("hitpath", "BASIC", 1, 0.01, repeat=1)
+        assert cell["backend"] == "event"
+
+    def test_specialized_backend_matches_event_counters(self):
+        ev = run_cell("mp3d", "P+CW+M", 4, 0.05, repeat=1)
+        sp = run_cell("mp3d", "P+CW+M", 4, 0.05, backend="specialized",
+                      repeat=1)
+        assert sp["backend"] == "specialized"
+        assert sp["execution_time"] == ev["execution_time"]
+
+    def test_replay_backend(self, tmp_path, monkeypatch):
+        from repro.sim.backend import TRACE_DIR_ENV
+
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        cell = run_cell("mp3d", "BASIC", 4, 0.05, backend="replay",
+                        repeat=1)
+        assert cell["backend"] == "replay"
+        assert cell["events"] > 0          # replayed references
+        assert cell["execution_time"] > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            run_cell("hitpath", "BASIC", 1, 0.01, backend="nope")
+
 
 class TestRunMatrix:
     def test_schema(self, tmp_path):
@@ -68,22 +94,32 @@ class TestRunMatrix:
             load_result(out)
 
     def test_quick_matrix_covers_every_extension(self):
-        protos = {proto for _, proto, _, _ in QUICK_MATRIX}
+        protos = {row[1] for row in QUICK_MATRIX}
         assert {"P", "CW", "M"} <= {
             part for p in protos for part in p.split("+")
         }
-        apps = {app for app, _, _, _ in QUICK_MATRIX}
+        apps = {row[0] for row in QUICK_MATRIX}
         assert "hitpath" in apps  # the cell the fast path targets
+
+    def test_quick_matrix_has_a_replay_cell(self):
+        tiers = {row[4] if len(row) > 4 else "event" for row in QUICK_MATRIX}
+        assert "replay" in tiers
+
+    def test_backend_override_forces_tier(self):
+        doc = run_matrix((("hitpath", "BASIC", 1, 0.01),), repeat=1,
+                         backend="specialized")
+        assert [c["backend"] for c in doc["cells"]] == ["specialized"]
 
 
 def _doc(cells):
     return {"schema_version": SCHEMA_VERSION, "cells": cells}
 
 
-def _cell(app="mp3d", proto="BASIC", evps=1000.0):
+def _cell(app="mp3d", proto="BASIC", evps=1000.0, backend="event"):
     return {
         "app": app, "protocol": proto, "n_procs": 16, "scale": 0.3,
-        "events": 100, "wall_s": 0.1, "events_per_sec": evps,
+        "backend": backend, "events": 100, "wall_s": 0.1,
+        "events_per_sec": evps,
     }
 
 
@@ -118,6 +154,31 @@ class TestCompare:
         cur = _doc([_cell(evps=10_000)])
         assert compare(cur, base) == []
 
+    def test_backend_is_part_of_cell_identity(self):
+        # a slow replay cell must not be checked against the event
+        # baseline of the same (app, protocol, n_procs, scale)
+        base = _doc([_cell(evps=1000)])
+        cur = _doc([_cell(evps=1, backend="replay")])
+        assert compare(cur, base) == []
+
+    def test_v1_cells_without_backend_mean_event(self):
+        v1 = dict(_cell(evps=1000))
+        del v1["backend"]
+        assert cell_key(v1) == cell_key(_cell(evps=1000))
+
+
+class TestUnmatched:
+    def test_all_matched(self):
+        doc = _doc([_cell()])
+        assert unmatched(doc, doc) == ([], [])
+
+    def test_one_sided_cells_listed(self):
+        base = _doc([_cell(), _cell(app="water")])
+        cur = _doc([_cell(), _cell(backend="replay")])
+        only_cur, only_base = unmatched(cur, base)
+        assert only_cur == [cell_key(_cell(backend="replay"))]
+        assert only_base == [cell_key(_cell(app="water"))]
+
 
 class TestCli:
     def test_bench_parser_defaults(self):
@@ -126,6 +187,7 @@ class TestCli:
         assert args.repeat == 3
         assert args.threshold == 2.0
         assert args.out is None and args.check is None
+        assert args.backend is None
 
     def test_bench_parser_options(self):
         args = build_parser().parse_args(

@@ -66,13 +66,14 @@ class TestMeshRouting:
         with pytest.raises(ValueError, match="mesh_dims"):
             MeshNetwork(cfg, 12, stats)
 
-    def test_side_is_deprecated(self):
+    def test_side_shim_is_gone(self):
+        # the deprecation shim was removed: dims is the only geometry
+        # accessor, and it works for square and rectangular meshes alike
         net, _ = make_mesh(n=16)
-        with pytest.warns(DeprecationWarning):
-            assert net.side == 4
+        assert not hasattr(net, "side")
+        assert net.dims == (4, 4)
         rect, _ = make_mesh(n=12)
-        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
-            rect.side
+        assert rect.dims == (4, 3)
 
     def test_rectangular_route_stays_in_bounds(self):
         net, _ = make_mesh(n=12)  # 4x3

@@ -1,0 +1,136 @@
+"""Tests for shared-reference trace recording (:mod:`repro.trace.refstream`).
+
+The replay tier's contract starts here: recording the same spec twice
+must produce byte-identical files (content-addressed sharing), the
+binary format must round-trip exactly, and malformed files must fail
+loudly instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import RunSpec
+from repro.trace.refstream import (
+    MAGIC,
+    OP_CODES,
+    OP_NAMES,
+    ReferenceRecorder,
+    RefTrace,
+    RefTraceError,
+    TraceStore,
+    workload_key,
+)
+
+
+def spec(**kw):
+    kw.setdefault("app", "mp3d")
+    kw.setdefault("n_procs", 4)
+    kw.setdefault("scale", 0.05)
+    return RunSpec.for_run(kw.pop("app"), **kw)
+
+
+class TestRecording:
+    def test_recording_is_byte_identical(self):
+        a = ReferenceRecorder().record(spec())
+        b = ReferenceRecorder().record(spec())
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_different_seed_different_stream(self):
+        a = ReferenceRecorder().record(spec(seed=1))
+        b = ReferenceRecorder().record(spec(seed=2))
+        assert a.to_bytes() != b.to_bytes()
+
+    def test_stream_shape(self):
+        trace = ReferenceRecorder().record(spec())
+        assert trace.n_procs == 4
+        assert trace.total_ops() == sum(trace.n_ops(p) for p in range(4))
+        assert trace.total_ops() > 0
+        kinds = {k for p in range(4) for k, _ in trace.tuples(p)}
+        assert kinds <= set(OP_CODES)
+
+    def test_protocol_does_not_change_the_workload_key(self):
+        # the whole point of the tier: every protocol/timing variant of
+        # one workload shares a single recorded trace
+        assert workload_key(spec(protocol="BASIC")) == \
+            workload_key(spec(protocol="P+CW+M"))
+        assert workload_key(spec(backend="event")) == \
+            workload_key(spec(backend="replay"))
+
+    def test_workload_identity_changes_the_key(self):
+        base = workload_key(spec())
+        assert workload_key(spec(seed=7)) != base
+        assert workload_key(spec(scale=0.1)) != base
+        assert workload_key(spec(app="water")) != base
+
+
+class TestFormat:
+    def test_round_trip(self):
+        trace = ReferenceRecorder().record(spec())
+        back = RefTrace.from_bytes(trace.to_bytes())
+        assert back.n_procs == trace.n_procs
+        assert back.key == trace.key
+        for p in range(trace.n_procs):
+            assert back.tuples(p) == trace.tuples(p)
+
+    def test_save_load(self, tmp_path):
+        trace = ReferenceRecorder().record(spec())
+        path = tmp_path / "t.reftrace"
+        trace.save(path)
+        assert path.read_bytes().startswith(MAGIC + b"\n")
+        back = RefTrace.load(path)
+        assert back.to_bytes() == trace.to_bytes()
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(RefTraceError, match="magic"):
+            RefTrace.from_bytes(b"NOTATRACE\n{}\n")
+
+    def test_truncated_body_rejected(self):
+        blob = ReferenceRecorder().record(spec()).to_bytes()
+        with pytest.raises(RefTraceError, match="truncated"):
+            RefTrace.from_bytes(blob[:-8])
+
+    def test_trailing_bytes_rejected(self):
+        blob = ReferenceRecorder().record(spec()).to_bytes()
+        with pytest.raises(RefTraceError, match="trailing"):
+            RefTrace.from_bytes(blob + b"\x00" * 16)
+
+    def test_bad_metadata_rejected(self):
+        with pytest.raises(RefTraceError, match="metadata"):
+            RefTrace.from_bytes(MAGIC + b"\nnot json\n")
+
+    def test_op_code_tables_are_inverse(self):
+        assert {OP_NAMES[v]: v for v in OP_NAMES} == OP_CODES
+
+
+class TestTraceStore:
+    def test_get_missing_returns_none(self, tmp_path):
+        assert TraceStore(tmp_path).get(spec()) is None
+
+    def test_get_or_record_persists(self, tmp_path):
+        store = TraceStore(tmp_path)
+        s = spec()
+        trace = store.get_or_record(s)
+        path = store.path_for(s)
+        assert path.exists()
+        assert path.read_bytes() == trace.to_bytes()
+        # second call loads the stored file, same contents
+        again = store.get_or_record(s)
+        assert again.to_bytes() == trace.to_bytes()
+
+    def test_variants_share_one_file(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_record(spec(protocol="BASIC"))
+        store.get_or_record(spec(protocol="P+CW+M"))
+        assert len(list(tmp_path.glob("*.reftrace"))) == 1
+
+    def test_proc_count_mismatch_rejected(self, tmp_path):
+        store = TraceStore(tmp_path)
+        s = spec()
+        trace = store.get_or_record(s)
+        # overwrite with a trace recorded for a different machine size
+        other = ReferenceRecorder().record(spec(n_procs=8))
+        other.save(store.path_for(s))
+        with pytest.raises(RefTraceError, match="streams"):
+            store.get(s)
+        assert trace.n_procs == 4  # the original was fine
