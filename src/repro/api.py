@@ -46,7 +46,45 @@ from repro.config import (
     SystemConfig,
 )
 from repro.stats.counters import MachineStats
-from repro.sweep import DEFAULT_SEED, RunResult, RunSpec, SweepEngine
+from repro.sweep import (
+    DEFAULT_SEED,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SweepEngine,
+)
+
+
+def make_engine(
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    pool: str = "persistent",
+    hot_cache_entries: int = 512,
+    write_batch: int = 1,
+) -> SweepEngine:
+    """A sweep engine in the throughput configuration.
+
+    ``jobs > 1`` fans out across worker processes -- on the process-wide
+    persistent warm pool by default, or a fresh per-batch pool with
+    ``pool="per-run"``.  ``cache_dir`` enables on-disk memoization with
+    an in-memory hot tier of ``hot_cache_entries`` deserialized results
+    in front of it (0 disables the tier) and ``write_batch``-way
+    coalesced disk writes.  Pass the result to :func:`run_app` /
+    :func:`compare_protocols`, and call ``engine.close()`` when done to
+    flush batched cache writes.
+    """
+    cache = None
+    if cache_dir is not None:
+        cache = ResultCache(
+            cache_dir, hot_entries=hot_cache_entries,
+            write_batch=write_batch,
+        )
+    return SweepEngine(
+        executor="process" if jobs > 1 else "serial",
+        max_workers=jobs,
+        cache=cache,
+        pool=pool,
+    )
 
 
 @dataclass(frozen=True)

@@ -203,6 +203,165 @@ def run_matrix(
     }
 
 
+# -- sweep-orchestration suite ------------------------------------------
+#
+# Cells that measure the *sweep engine* (pool spawn/reuse, scheduling,
+# result-cache tiers) in specs/sec rather than the simulator core in
+# events/sec.  They share the cell schema -- ``events`` counts specs,
+# the unit of work -- under the synthetic tier name ``"sweep"`` so the
+# identity used by ``--check`` can never collide with a simulator cell
+# (``"sweep"`` is not a RunSpec backend).
+
+#: number of workers the sweep suite fans out to.
+SWEEP_BENCH_JOBS = 4
+
+#: hot-tier size used when the suite runs with the current defaults.
+SWEEP_BENCH_HOT_ENTRIES = 512
+
+
+def _sweep_specs_cold16() -> list:
+    """16 small uncached cells: 8 protocol combos x 2 machine sizes."""
+    from repro.sweep import RunSpec
+
+    protos = ("BASIC", "P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M")
+    return [
+        RunSpec.for_run("mp3d", protocol=p, n_procs=np, scale=0.05)
+        for np in (4, 8) for p in protos
+    ]
+
+
+def _sweep_specs_cachedmix() -> list:
+    """32 cells mixing protocols and seeds (the repeat-heavy shape)."""
+    from repro.sweep import RunSpec
+
+    protos = ("BASIC", "P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M")
+    return [
+        RunSpec.for_run("mp3d", protocol=p, n_procs=4, scale=0.05, seed=s)
+        for s in (12345, 23456, 34567, 45678) for p in protos
+    ]
+
+
+def run_sweep_cell(
+    name: str, specs: list, repeat: int = 3, *, jobs: int = 1,
+    pool: str = "persistent", hot_entries: int = 0,
+    write_batch: int = 1, cold: bool = True,
+) -> dict:
+    """Time ``SweepEngine.run`` over ``specs``; report best specs/sec.
+
+    ``cold=True`` starts every repeat from an empty result cache (the
+    timed region simulates every cell); ``cold=False`` prepopulates the
+    cache once per repeat outside the timed region, so the timed region
+    measures pure result-serving throughput (disk tier vs hot tier).
+    Each repeat uses a fresh cache directory; the persistent worker
+    pool, by design, stays warm across repeats -- that amortization is
+    exactly what the suite exists to measure.
+    """
+    import shutil
+    import tempfile
+
+    from repro.sweep import ResultCache, SweepEngine
+
+    best = None
+    for _ in range(max(1, repeat)):
+        tmp = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+        try:
+            cache = ResultCache(
+                tmp, hot_entries=hot_entries, write_batch=write_batch
+            )
+            engine = SweepEngine(
+                executor="process" if jobs > 1 else "serial",
+                max_workers=jobs, cache=cache, pool=pool,
+            )
+            if not cold:
+                engine.run(specs)
+            t0 = time.perf_counter()
+            engine.run(specs)
+            wall = time.perf_counter() - t0
+            engine.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        if best is None or wall < best:
+            best = wall
+    n = len(specs)
+    return {
+        "app": name,
+        "protocol": "-",
+        "n_procs": jobs,
+        "scale": 1.0,
+        "backend": "sweep",
+        "events": n,
+        "wall_s": round(best, 6),
+        "events_per_sec": round(n / best, 1),
+        "execution_time": 0,
+    }
+
+
+def run_sweep_suite(
+    repeat: int = 3, verbose: bool = False, *,
+    pool: str = "persistent", hot_entries: int = SWEEP_BENCH_HOT_ENTRIES,
+) -> dict:
+    """Run the sweep-orchestration cells; return a result document.
+
+    ``pool``/``hot_entries`` select the configuration under test; the
+    committed baseline was captured with the legacy configuration
+    (``pool="per-run"``, ``hot_entries=0``), so ``--check`` against it
+    measures the orchestration overhaul itself.
+    """
+    write_batch = 32 if hot_entries else 1
+    rows = (
+        ("cold16", _sweep_specs_cold16(), True),
+        ("cachedmix", _sweep_specs_cachedmix(), False),
+    )
+    cells = []
+    for name, specs, cold in rows:
+        cell = run_sweep_cell(
+            name, specs, repeat, jobs=SWEEP_BENCH_JOBS, pool=pool,
+            hot_entries=hot_entries, write_batch=write_batch, cold=cold,
+        )
+        cells.append(cell)
+        if verbose:
+            print(
+                f"  {name:<10} {'-':<8} jobs={SWEEP_BENCH_JOBS:<2} "
+                f"pool={pool:<10} hot={hot_entries:<4} "
+                f"specs={cell['events']:>3} wall={cell['wall_s']:.4f}s "
+                f"specs/s={cell['events_per_sec']:>8.1f}",
+                flush=True,
+            )
+    from repro.sweep import shutdown_shared_pool
+
+    shutdown_shared_pool()
+    tot_specs = sum(c["events"] for c in cells)
+    tot_wall = sum(c["wall_s"] for c in cells)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "cells": cells,
+        "totals": {
+            "events": tot_specs,
+            "wall_s": round(tot_wall, 6),
+            "events_per_sec": round(tot_specs / tot_wall, 1),
+        },
+    }
+
+
+def speedups(current: dict, baseline: dict) -> list:
+    """Per-cell throughput ratios current/baseline for matched cells."""
+    base_by_key = {cell_key(c): c for c in baseline.get("cells", [])}
+    out = []
+    for cell in current.get("cells", []):
+        base = base_by_key.get(cell_key(cell))
+        if base is None or base["events_per_sec"] <= 0:
+            continue
+        out.append((
+            cell_key(cell),
+            round(cell["events_per_sec"] / base["events_per_sec"], 2),
+        ))
+    return out
+
+
 def cell_key(cell: dict) -> tuple:
     """Identity of a cell, for matching across result documents.
 
@@ -297,19 +456,50 @@ def add_bench_args(parser) -> None:
         help="force every cell onto one execution tier "
              "(default: each matrix row's own tier)",
     )
+    parser.add_argument(
+        "--suite", choices=("cells", "sweep"), default="cells",
+        help="'cells' times the simulator core (events/sec); 'sweep' "
+             "times the sweep engine itself in specs/sec (default cells)",
+    )
+    parser.add_argument(
+        "--pool", choices=("persistent", "per-run"), default="persistent",
+        help="[suite=sweep] process-pool flavor under test "
+             "(default persistent)",
+    )
+    parser.add_argument(
+        "--hot-cache-entries", type=int, default=SWEEP_BENCH_HOT_ENTRIES,
+        metavar="N",
+        help="[suite=sweep] hot-tier size under test; 0 disables "
+             f"(default {SWEEP_BENCH_HOT_ENTRIES})",
+    )
 
 
 def run_bench(args) -> int:
     """Run the harness from a parsed argument namespace."""
-    matrix = FULL_MATRIX if args.full else QUICK_MATRIX
-    name = "full" if args.full else "quick"
-    print(f"running {name} matrix ({len(matrix)} cells, "
-          f"min of {args.repeat} runs; python {platform.python_version()})")
-    result = run_matrix(matrix, repeat=args.repeat, verbose=True,
-                        backend=getattr(args, "backend", None))
+    suite = getattr(args, "suite", "cells")
+    if suite == "sweep":
+        print(f"running sweep suite (min of {args.repeat} runs; "
+              f"python {platform.python_version()})")
+        result = run_sweep_suite(
+            repeat=args.repeat, verbose=True,
+            pool=getattr(args, "pool", "persistent"),
+            hot_entries=getattr(
+                args, "hot_cache_entries", SWEEP_BENCH_HOT_ENTRIES
+            ),
+        )
+        unit = "specs"
+    else:
+        matrix = FULL_MATRIX if args.full else QUICK_MATRIX
+        name = "full" if args.full else "quick"
+        print(f"running {name} matrix ({len(matrix)} cells, "
+              f"min of {args.repeat} runs; "
+              f"python {platform.python_version()})")
+        result = run_matrix(matrix, repeat=args.repeat, verbose=True,
+                            backend=getattr(args, "backend", None))
+        unit = "events"
     totals = result["totals"]
-    print(f"TOTAL events={totals['events']} wall={totals['wall_s']:.4f}s "
-          f"ev/s={totals['events_per_sec']:.0f}")
+    print(f"TOTAL {unit}={totals['events']} wall={totals['wall_s']:.4f}s "
+          f"{unit[:-1]}s/s={totals['events_per_sec']:.0f}")
 
     out = Path(args.out) if args.out else Path(
         f"BENCH_{result['revision']}.json"
@@ -328,9 +518,11 @@ def run_bench(args) -> int:
         if regressions:
             print(f"REGRESSION vs {args.check} (threshold {args.threshold}x):")
             for key, cur, base, slowdown in regressions:
-                print(f"  {key}: {base:.0f} -> {cur:.0f} ev/s "
+                print(f"  {key}: {base:.0f} -> {cur:.0f} {unit}/s "
                       f"({slowdown}x slower)")
             return 1
+        for key, ratio in speedups(result, baseline):
+            print(f"  speedup {key}: {ratio}x vs baseline")
         print(f"no regression vs {args.check} "
               f"(threshold {args.threshold}x, "
               f"baseline rev {baseline['revision']})")

@@ -120,8 +120,7 @@ def cmd_run(args) -> int:
         def simulate():
             return System(cfg).run(streams)
     else:
-        from repro.sim.backend import get_backend
-        from repro.sweep import RunSpec
+        from repro.sweep import RunSpec, SweepEngine
 
         spec = RunSpec.for_run(
             args.app,
@@ -133,9 +132,19 @@ def cmd_run(args) -> int:
             directory=_directory_arg(args),
             backend=backend,
         )
+        engine = SweepEngine()
 
         def simulate():
-            return get_backend(backend).execute(spec)
+            stats = engine.run_one(spec).stats
+            if getattr(args, "verbose", False):
+                digest = engine.last_run_stats() or {}
+                print(
+                    "[run] wall={wall_time:.3f}s sim_time={sim_time:.3f}s "
+                    "sim={sim} cache={cache} dedup={dedup} "
+                    "hot_hits={hot_hits}".format(**digest),
+                    file=sys.stderr, flush=True,
+                )
+            return stats
 
     if args.profile or args.profile_out:
         import cProfile
@@ -296,6 +305,8 @@ def cmd_serve(args) -> int:
         max_cache_entries=args.max_cache_entries,
         jobs=args.jobs,
         verbose=args.verbose,
+        pool=args.pool,
+        hot_cache_entries=args.hot_cache_entries,
     )
     print(
         f"repro sweep service on {service.url} "
@@ -608,6 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-out", metavar="FILE",
         help="write the profile as a pstats dump (implies --profile)",
     )
+    p_run.add_argument(
+        "--verbose", action="store_true",
+        help="print the engine's timing digest (wall, sim time, cell "
+             "sources) on stderr",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_bench = sub.add_parser(
@@ -649,6 +665,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per sweep (1 = serial, the default)",
+    )
+    p_srv.add_argument(
+        "--pool", choices=("persistent", "per-run"), default="persistent",
+        help="process-pool flavor for --jobs > 1: one warm pool reused "
+             "across jobs, or a fresh pool per sweep "
+             "(default: %(default)s)",
+    )
+    p_srv.add_argument(
+        "--hot-cache-entries", type=int, default=512, metavar="N",
+        help="in-memory hot tier in front of the result cache; 0 "
+             "disables it (default: %(default)s)",
     )
     p_srv.add_argument(
         "--cache-dir", default=None, metavar="DIR",

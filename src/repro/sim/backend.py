@@ -37,12 +37,13 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
 
 from repro.stats.counters import MachineStats
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.trace.refstream import TraceStore
+    from repro.trace.refstream import RefTrace, TraceStore
 
 #: environment override for where the replay tier keeps trace files
 #: (worker processes inherit it across spawn).
@@ -61,6 +62,94 @@ def _workload_streams(spec, cfg):
     )
 
 
+class WarmContext:
+    """Per-process memo of expensive per-spec build products.
+
+    A long-lived worker (the persistent sweep pool, the HTTP service's
+    serial engine) executes many specs that share a workload: the same
+    (app, n_procs, scale, seed, workload kwargs, block/page size)
+    under different protocols, directories or timings.  Building the
+    reference streams is deterministic in exactly those fields (the
+    same identity :func:`repro.trace.refstream.workload_key` hashes),
+    and the simulators only *iterate* the frozen ``Op`` lists, so one
+    built workload can safely drive any number of runs.
+
+    The context memoizes
+
+    * built workload streams (LRU-bounded; 256-proc stream lists are
+      large), keyed by the workload identity,
+    * one open :class:`~repro.trace.refstream.TraceStore` per trace
+      directory, and the deserialized :class:`RefTrace` per workload,
+      so repeated replay-tier cells skip the file read entirely.
+
+    Pass one to :meth:`ExecutionBackend.execute` to opt in; ``None``
+    (the default) keeps the historical build-per-run behavior.
+    """
+
+    def __init__(self, max_workloads: int = 8, max_traces: int = 8) -> None:
+        self.max_workloads = max_workloads
+        self.max_traces = max_traces
+        self._workloads: OrderedDict[str, Any] = OrderedDict()
+        self._stores: dict[str, Any] = {}
+        self._traces: OrderedDict[str, Any] = OrderedDict()
+        self.workload_hits = 0
+        self.workload_misses = 0
+        self.trace_hits = 0
+        self.trace_misses = 0
+
+    def streams_for(self, spec, cfg):
+        """The spec's workload streams, built at most once per identity."""
+        from repro.trace.refstream import workload_key
+
+        key = workload_key(spec)
+        streams = self._workloads.get(key)
+        if streams is not None:
+            self.workload_hits += 1
+            self._workloads.move_to_end(key)
+            return streams
+        self.workload_misses += 1
+        streams = _workload_streams(spec, cfg)
+        self._workloads[key] = streams
+        while len(self._workloads) > self.max_workloads:
+            self._workloads.popitem(last=False)
+        return streams
+
+    def store_for(self, trace_dir: str) -> "TraceStore":
+        """One open trace store per directory."""
+        store = self._stores.get(trace_dir)
+        if store is None:
+            from repro.trace.refstream import TraceStore
+
+            store = self._stores[trace_dir] = TraceStore(trace_dir)
+        return store
+
+    def trace_for(self, spec, trace_dir: str) -> "RefTrace":
+        """The spec's reference trace, loaded/recorded at most once."""
+        from repro.trace.refstream import workload_key
+
+        key = f"{trace_dir}:{workload_key(spec)}"
+        trace = self._traces.get(key)
+        if trace is not None:
+            self.trace_hits += 1
+            self._traces.move_to_end(key)
+            return trace
+        self.trace_misses += 1
+        trace = self.store_for(trace_dir).get_or_record(spec)
+        self._traces[key] = trace
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def counters(self) -> dict:
+        """JSON-able hit/miss digest (folded into pool statistics)."""
+        return {
+            "workload_hits": self.workload_hits,
+            "workload_misses": self.workload_misses,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+        }
+
+
 class ExecutionBackend(ABC):
     """One way of turning a run spec into machine statistics."""
 
@@ -71,8 +160,12 @@ class ExecutionBackend(ABC):
     exact: bool = True
 
     @abstractmethod
-    def execute(self, spec) -> MachineStats:
-        """Run ``spec`` to completion and return its statistics."""
+    def execute(self, spec, warm: WarmContext | None = None) -> MachineStats:
+        """Run ``spec`` to completion and return its statistics.
+
+        ``warm`` (optional) memoizes build products across calls; the
+        result is identical with or without it.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -84,11 +177,13 @@ class EventBackend(ExecutionBackend):
     name = "event"
     exact = True
 
-    def execute(self, spec) -> MachineStats:
+    def execute(self, spec, warm: WarmContext | None = None) -> MachineStats:
         from repro.system import System
 
         cfg = spec.to_config()
-        return System(cfg).run(_workload_streams(spec, cfg))
+        streams = (warm.streams_for(spec, cfg) if warm is not None
+                   else _workload_streams(spec, cfg))
+        return System(cfg).run(streams)
 
 
 class SpecializedBackend(ExecutionBackend):
@@ -97,11 +192,13 @@ class SpecializedBackend(ExecutionBackend):
     name = "specialized"
     exact = True
 
-    def execute(self, spec) -> MachineStats:
+    def execute(self, spec, warm: WarmContext | None = None) -> MachineStats:
         from repro.sim.specialized import SpecializedSystem
 
         cfg = spec.to_config()
-        return SpecializedSystem(cfg).run(_workload_streams(spec, cfg))
+        streams = (warm.streams_for(spec, cfg) if warm is not None
+                   else _workload_streams(spec, cfg))
+        return SpecializedSystem(cfg).run(streams)
 
 
 class ReplayBackend(ExecutionBackend):
@@ -127,10 +224,13 @@ class ReplayBackend(ExecutionBackend):
 
         return TraceStore(self.trace_dir)
 
-    def execute(self, spec) -> MachineStats:
+    def execute(self, spec, warm: WarmContext | None = None) -> MachineStats:
         from repro.sim.replay import replay_trace
 
-        trace = self.store().get_or_record(spec)
+        if warm is not None:
+            trace = warm.trace_for(spec, self.trace_dir)
+        else:
+            trace = self.store().get_or_record(spec)
         return replay_trace(spec.to_config(), trace)
 
 

@@ -27,11 +27,19 @@ from repro.sweep.cache import (
 )
 from repro.sweep.engine import (
     EXECUTORS,
+    POOL_MODES,
     ProgressEvent,
     SweepEngine,
     execute_spec,
     run_spec,
     sweep,
+)
+from repro.sweep.pool import (
+    PersistentPool,
+    WorkerCrashError,
+    estimate_cost,
+    shared_pool,
+    shutdown_shared_pool,
 )
 from repro.sweep.spec import (
     DEFAULT_SEED,
@@ -46,6 +54,8 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_SEED",
     "EXECUTORS",
+    "POOL_MODES",
+    "PersistentPool",
     "ProgressEvent",
     "ResultCache",
     "RunResult",
@@ -53,8 +63,12 @@ __all__ = [
     "SPEC_SCHEMA_VERSION",
     "SpecSchemaError",
     "SweepEngine",
+    "WorkerCrashError",
     "default_cache_dir",
+    "estimate_cost",
     "execute_spec",
     "run_spec",
+    "shared_pool",
+    "shutdown_shared_pool",
     "sweep",
 ]

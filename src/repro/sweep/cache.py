@@ -38,15 +38,35 @@ its LRU index from mtimes at construction.  An unbounded cache (the
 default) keeps the historical zero-overhead behavior -- no index, no
 touching.  :meth:`stats` reports sizes and counters either way; the
 service exposes it verbatim at ``GET /v1/cache/stats``.
+
+Hot tier
+--------
+
+``hot_entries > 0`` adds an in-memory LRU of deserialized results in
+front of the JSON files: a repeated ``get`` skips the file read, the
+JSON parse and the stats rehydration entirely (hot hits still count as
+:attr:`hits`, and additionally as ``hot.hits`` in :meth:`stats`).
+``write_batch > 1`` buffers ``put`` payloads in memory and writes them
+in batches -- repeated puts of the same key before a flush coalesce to
+one file write.  Buffered entries are readable immediately (served
+from memory) and durable after :meth:`flush`, which the sweep engine
+calls at the end of every ``run()`` and which also runs at interpreter
+exit.  Both knobs default *off*: a bare ``ResultCache`` keeps the
+historical read-through/write-through behavior, including detection of
+files corrupted behind its back.  Callers that return cached results
+must treat the stats payload as read-only -- hot hits share one
+deserialized object.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import tempfile
 import threading
 from collections import OrderedDict
+from dataclasses import replace
 from pathlib import Path
 
 from repro.stats.counters import MachineStats
@@ -74,6 +94,8 @@ class ResultCache:
         root: str | Path,
         max_bytes: int | None = None,
         max_entries: int | None = None,
+        hot_entries: int = 0,
+        write_batch: int = 1,
     ) -> None:
         self.root = Path(root)
         try:
@@ -84,6 +106,8 @@ class ResultCache:
             ) from None
         self.max_bytes = max_bytes
         self.max_entries = max_entries
+        self.hot_entries = max(0, hot_entries)
+        self.write_batch = max(1, write_batch)
         # one engine (and the HTTP service on top of it) may drive the
         # cache from many threads; counters and the LRU index are
         # guarded by a reentrant lock, file writes are atomic anyway.
@@ -92,6 +116,22 @@ class ResultCache:
         self.misses = 0
         self.invalidated = 0
         self.evictions = 0
+        #: hot-tier counters (always present; 0 when the tier is off).
+        self.hot_hits = 0
+        self.hot_misses = 0
+        self.coalesced_writes = 0
+        self.flushes = 0
+        #: hot tier: key -> (RunResult, serialized size in bytes when
+        #: known, else 0), LRU order.  None when hot_entries == 0.
+        self._hot: OrderedDict[str, tuple[RunResult, int]] | None = (
+            OrderedDict() if self.hot_entries else None
+        )
+        #: write-behind buffer: key -> envelope payload awaiting flush.
+        self._pending: dict[str, dict] = {}
+        if self.write_batch > 1:
+            # buffered entries must reach disk even if the owner never
+            # calls flush(); harmless double-flush otherwise.
+            atexit.register(self.flush)
         #: LRU index (key -> file size), oldest first; only maintained
         #: when a bound is configured so the unbounded cache stays
         #: index-free and zero-overhead.
@@ -119,31 +159,50 @@ class ResultCache:
 
     def get(self, spec: RunSpec) -> RunResult | None:
         """The cached result, or None (counting hit/miss/invalidation)."""
+        key = spec.key()
         with self._lock:
-            payload = self._load(spec.key())
+            if self._hot is not None:
+                entry = self._hot.get(key)
+                if entry is not None:
+                    result, _ = entry
+                    self.hits += 1
+                    self.hot_hits += 1
+                    self._hot.move_to_end(key)
+                    self._touch(key)
+                    return replace(result, spec=spec, from_cache=True)
+                self.hot_misses += 1
+            payload = self._pending.get(key)
+            if payload is None:
+                payload = self._load(key)
             if payload is None:
                 return None
             try:
                 stats = MachineStats.from_dict(payload["stats"])
                 wall_time = float(payload.get("wall_time", 0.0))
             except (KeyError, TypeError, ValueError):
-                self._invalidate(spec.key())
+                self._invalidate(key)
                 return None
             self.hits += 1
-            self._touch(spec.key())
-        return RunResult(
-            spec=spec, stats=stats, wall_time=wall_time, from_cache=True
-        )
+            self._touch(key)
+            result = RunResult(
+                spec=spec, stats=stats, wall_time=wall_time, from_cache=True
+            )
+            self._hot_store(key, result, self._disk_size(key))
+        return result
 
     def get_by_key(self, key: str) -> dict | None:
         """The raw cache envelope for a bare content hash, or None.
 
         This is the ``GET /v1/runs/<hash>`` read path: no spec needed,
         the stored payload (spec wire form included) is returned as-is.
-        Counts hits/misses and refreshes recency like :meth:`get`.
+        Counts hits/misses and refreshes recency like :meth:`get`;
+        entries still buffered for a batched write are served from
+        memory.
         """
         with self._lock:
-            payload = self._load(key)
+            payload = self._pending.get(key)
+            if payload is None:
+                payload = self._load(key)
             if payload is None:
                 return None
             self.hits += 1
@@ -175,10 +234,14 @@ class ResultCache:
     # -- write ----------------------------------------------------------
 
     def put(self, result: RunResult) -> None:
-        """Store a completed result (atomic write, then LRU eviction)."""
+        """Store a completed result.
+
+        Write-through by default (atomic file write, then LRU
+        eviction); with ``write_batch > 1`` the payload is buffered and
+        written on the next :meth:`flush` or when the buffer fills,
+        coalescing repeated puts of one key into one file write.
+        """
         key = result.spec.key()
-        path = self.path_for_key(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "spec_key": key,
@@ -186,6 +249,49 @@ class ResultCache:
             "stats": result.stats.to_dict(),
             "wall_time": result.wall_time,
         }
+        with self._lock:
+            if self._hot is not None:
+                # store the dict round-trip of the stats, not the live
+                # object: hot hits then match a disk read bit for bit
+                # and never alias stats the caller may still hold.
+                self._hot_store(key, RunResult(
+                    spec=result.spec,
+                    stats=MachineStats.from_dict(payload["stats"]),
+                    wall_time=result.wall_time,
+                    from_cache=True,
+                ), 0)
+            if self.write_batch > 1:
+                if key in self._pending:
+                    self.coalesced_writes += 1
+                self._pending[key] = payload
+                if len(self._pending) >= self.write_batch:
+                    self._flush_locked()
+                return
+        self._write(key, payload)
+
+    def flush(self) -> int:
+        """Write every buffered entry to disk; returns the count.
+
+        A no-op for a write-through cache.  The sweep engine calls this
+        at the end of every ``run()``, so batched writes only ever defer
+        durability *within* a batch, never across API calls.
+        """
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, {}
+        self.flushes += 1
+        for key, payload in pending.items():
+            self._write(key, payload)
+        return len(pending)
+
+    def _write(self, key: str, payload: dict) -> None:
+        """Atomic file write + LRU index/hot-size bookkeeping."""
+        path = self.path_for_key(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
@@ -200,10 +306,35 @@ class ResultCache:
                 pass
             raise
         with self._lock:
+            size = path.stat().st_size
+            if self._hot is not None and key in self._hot:
+                self._hot[key] = (self._hot[key][0], size)
             if self._index is not None:
                 self._index.pop(key, None)
-                self._index[key] = path.stat().st_size
+                self._index[key] = size
                 self._evict()
+
+    # -- hot tier -------------------------------------------------------
+
+    def _hot_store(self, key: str, result: RunResult, size: int) -> None:
+        """Insert/refresh a hot-tier entry (caller holds the lock)."""
+        if self._hot is None:
+            return
+        prev = self._hot.pop(key, None)
+        if size == 0 and prev is not None:
+            size = prev[1]
+        self._hot[key] = (result, size)
+        while len(self._hot) > self.hot_entries:
+            self._hot.popitem(last=False)
+
+    def _disk_size(self, key: str) -> int:
+        """Size of the entry's file, 0 if unknown (caller holds lock)."""
+        if self._index is not None:
+            return self._index.get(key, 0)
+        try:
+            return self.path_for_key(key).stat().st_size
+        except OSError:
+            return 0
 
     # -- bounds ---------------------------------------------------------
 
@@ -259,6 +390,9 @@ class ResultCache:
             self.misses += 1
             if self._index is not None:
                 self._index.pop(key, None)
+            if self._hot is not None:
+                self._hot.pop(key, None)
+            self._pending.pop(key, None)
         try:
             os.unlink(self.path_for_key(key))
         except OSError:
@@ -276,6 +410,9 @@ class ResultCache:
                     pass
             if self._index is not None:
                 self._index.clear()
+            if self._hot is not None:
+                self._hot.clear()
+            self._pending.clear()
             return n
 
     def total_bytes(self) -> int:
@@ -303,6 +440,21 @@ class ResultCache:
                 "evictions": self.evictions,
                 "max_bytes": self.max_bytes,
                 "max_entries": self.max_entries,
+                "hot": {
+                    "entries": (len(self._hot)
+                                if self._hot is not None else 0),
+                    "max_entries": self.hot_entries,
+                    "bytes": (sum(size for _, size in self._hot.values())
+                              if self._hot is not None else 0),
+                    "hits": self.hot_hits,
+                    "misses": self.hot_misses,
+                },
+                "writes": {
+                    "batch": self.write_batch,
+                    "pending": len(self._pending),
+                    "coalesced": self.coalesced_writes,
+                    "flushes": self.flushes,
+                },
             }
 
     def __len__(self) -> int:

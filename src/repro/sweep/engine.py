@@ -6,15 +6,24 @@ pluggable executor and returns results **in spec order** regardless of
 completion order:
 
 * ``serial``  -- in-process loop (the default; zero overhead),
-* ``process`` -- a ``concurrent.futures.ProcessPoolExecutor`` with
-  chunked submission, for fanning a sweep matrix out across cores.
+* ``process`` -- fan the uncached cells out across worker processes,
+  either on the **persistent** warm pool (:mod:`repro.sweep.pool`,
+  the default: spawned once, reused across ``run()`` calls and
+  service jobs, crash-respawned) or on a **per-run**
+  ``ProcessPoolExecutor`` that lives for one batch.
+
+Uncached cells are dispatched most-expensive-first through a
+cost-ordered queue (:func:`repro.sweep.pool.estimate_cost`), so
+straggler cells start immediately and cheap cells backfill idle
+workers; completion order never leaks into the API -- results always
+come back in spec order.
 
 Worker processes never see the cache: they receive spec dicts, return
 ``MachineStats.to_dict()`` payloads, and the parent writes the cache
 and fires the progress hook.  Routing *both* the live and the cached
 path through the same versioned dict round-trip guarantees that a
-process-pool sweep, a serial sweep and a cache replay produce
-bitwise-identical statistics.
+process-pool sweep (either pool mode), a serial sweep and a cache
+replay produce bitwise-identical statistics.
 
 One engine may be shared by many threads (the HTTP service submits
 every client sweep through a single engine).  ``run`` is thread-safe,
@@ -27,22 +36,35 @@ Duplicates inside one batch collapse the same way.
 
 from __future__ import annotations
 
-import math
 import os
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.sim.backend import get_backend
+from repro.sim.backend import WarmContext, get_backend
 from repro.stats.counters import MachineStats
 from repro.sweep.cache import ResultCache
+from repro.sweep.pool import (
+    PersistentPool,
+    ensure_importable_by_workers,
+    estimate_cost,
+    shared_pool,
+)
 from repro.sweep.spec import RunResult, RunSpec
 
 #: executor names accepted by :class:`SweepEngine`.
 EXECUTORS = ("serial", "process")
+
+#: process-pool flavors accepted by :class:`SweepEngine`.
+POOL_MODES = ("persistent", "per-run")
 
 
 @dataclass(frozen=True)
@@ -62,45 +84,37 @@ class ProgressEvent:
 ProgressHook = Callable[[ProgressEvent], None]
 
 
-def execute_spec(spec: RunSpec) -> MachineStats:
+def execute_spec(spec: RunSpec, warm: WarmContext | None = None) -> MachineStats:
     """Simulate one cell in-process (no cache, no pooling).
 
     Dispatches to the execution backend the spec names (see
     :mod:`repro.sim.backend`); ``"event"`` reproduces the historical
-    behavior exactly.
+    behavior exactly.  ``warm`` optionally memoizes build products
+    (workload streams, replay traces) across calls.
     """
-    return get_backend(spec.backend).execute(spec)
+    return get_backend(spec.backend).execute(spec, warm=warm)
+
+
+#: per-process warm state of a per-run pool worker (each spawned
+#: worker interpreter gets its own copy of this module).
+_chunk_warm: WarmContext | None = None
 
 
 def _run_chunk(spec_dicts: list[dict]) -> list[dict]:
     """Worker entry: simulate a chunk, return versioned stat payloads."""
+    global _chunk_warm
+    if _chunk_warm is None:
+        _chunk_warm = WarmContext()
     out = []
     for d in spec_dicts:
         spec = RunSpec.from_dict(d)
         t0 = time.perf_counter()
-        stats = execute_spec(spec)
+        stats = execute_spec(spec, _chunk_warm)
         out.append({
             "stats": stats.to_dict(),
             "wall_time": time.perf_counter() - t0,
         })
     return out
-
-
-def _ensure_importable_by_workers() -> None:
-    """Make sure spawned interpreters can ``import repro``.
-
-    Spawned workers inherit the environment, not ``sys.path``; if the
-    package was made importable by a path hack rather than an install,
-    prepend its root to ``PYTHONPATH`` before forking the pool.
-    """
-    import repro
-
-    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    existing = os.environ.get("PYTHONPATH", "")
-    if pkg_root not in existing.split(os.pathsep):
-        os.environ["PYTHONPATH"] = (
-            pkg_root + (os.pathsep + existing if existing else "")
-        )
 
 
 class _InFlight:
@@ -123,16 +137,25 @@ class SweepEngine:
         cache: ResultCache | None = None,
         on_result: ProgressHook | None = None,
         chunk_size: int | None = None,
+        pool: str = "persistent",
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        if pool not in POOL_MODES:
+            raise ValueError(
+                f"unknown pool mode {pool!r}; choose from {POOL_MODES}"
             )
         self.executor = executor
         self.max_workers = max_workers or os.cpu_count() or 1
         self.cache = cache
         self.on_result = on_result
         self.chunk_size = chunk_size
+        #: process-pool flavor: "persistent" reuses the process-wide
+        #: warm pool across runs, "per-run" builds a fresh
+        #: ProcessPoolExecutor per batch (the historical behavior).
+        self.pool = pool
         #: cells handed to run() over the engine's lifetime.
         self.cells = 0
         #: cells that had to be simulated (cache misses / cache off).
@@ -145,11 +168,34 @@ class SweepEngine:
         self.wall_time = 0.0
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
+        #: warm state of the in-process (serial) execution path.
+        self._warm = WarmContext()
+        self._pool: PersistentPool | None = None
+        self._last_run_stats: dict | None = None
 
     @property
     def invalidated(self) -> int:
         """Stale cache entries dropped on this engine's behalf."""
         return self.cache.invalidated if self.cache is not None else 0
+
+    def _get_pool(self) -> PersistentPool:
+        """The persistent pool (the process-wide shared one)."""
+        if self._pool is None or self._pool.closed:
+            self._pool = shared_pool(self.max_workers)
+        return self._pool
+
+    def close(self, shutdown_pool: bool = False) -> None:
+        """Flush pending cache writes; optionally stop the worker pool.
+
+        The persistent pool is shared process-wide, so it is left
+        running by default (an ``atexit`` hook stops it at interpreter
+        exit); pass ``shutdown_pool=True`` to stop it now -- the
+        service does on shutdown.
+        """
+        if self.cache is not None:
+            self.cache.flush()
+        if shutdown_pool and self._pool is not None:
+            self._pool.close()
 
     # ------------------------------------------------------------------
 
@@ -167,16 +213,19 @@ class SweepEngine:
         batch = list(specs)
         total = len(batch)
         t0 = time.perf_counter()
+        hot_before = self.cache.hot_hits if self.cache is not None else 0
         with self._lock:
             self.cells += total
         results: list[RunResult | None] = [None] * total
         pending: list[int] = []                      # this call simulates
         waiting: list[tuple[int, _InFlight]] = []    # someone else is
         owned: dict[str, _InFlight] = {}             # keys this call claimed
+        cached_here = 0
         for i, spec in enumerate(batch):
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[i] = cached
+                cached_here += 1
                 with self._lock:
                     self.hits += 1
                 self._report(i, total, spec, 0.0, "cache", on_result, cached)
@@ -212,12 +261,44 @@ class SweepEngine:
                     if not entry.event.is_set():
                         self._inflight.pop(key, None)
                         entry.event.set()
+            if self.cache is not None:
+                self.cache.flush()
         for i, entry in waiting:
             results[i] = self._await_shared(batch[i], entry)
             self._report(i, total, batch[i], 0.0, "dedup", on_result,
                          results[i])
-        self.wall_time += time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+        self.wall_time += wall
+        self._last_run_stats = {
+            "cells": total,
+            "sim": len(pending),
+            "cache": cached_here,
+            "dedup": len(waiting),
+            "hot_hits": (self.cache.hot_hits - hot_before
+                         if self.cache is not None else 0),
+            "wall_time": wall,
+            "sim_time": sum(
+                results[i].wall_time for i in pending
+                if results[i] is not None
+            ),
+            "executor": ("serial" if self.executor == "serial"
+                         or len(pending) <= 1 else "process"),
+            "pool": self.pool if self.executor == "process" else None,
+        }
         return results  # type: ignore[return-value]  # every slot filled
+
+    def last_run_stats(self) -> dict | None:
+        """Aggregate timing/source digest of the most recent :meth:`run`.
+
+        ``wall_time`` is the batch's end-to-end wall clock;
+        ``sim_time`` is the *sum* of per-cell simulation seconds (the
+        work the pool performed, possibly in parallel); ``sim`` /
+        ``cache`` / ``dedup`` count where each cell came from and
+        ``hot_hits`` how many cache hits never touched disk.  On an
+        engine shared by concurrent threads the digest describes
+        whichever run finished last.
+        """
+        return self._last_run_stats
 
     def run_one(self, spec: RunSpec) -> RunResult:
         """Single-cell convenience wrapper over :meth:`run`."""
@@ -237,7 +318,7 @@ class SweepEngine:
         if cached is not None:
             return cached
         t0 = time.perf_counter()
-        stats = execute_spec(spec)
+        stats = execute_spec(spec, self._warm)
         result = RunResult(
             spec=spec, stats=stats,
             wall_time=time.perf_counter() - t0, from_cache=False,
@@ -251,16 +332,49 @@ class SweepEngine:
     def _run_serial(self, batch, pending, results, hook) -> None:
         for i in pending:
             t0 = time.perf_counter()
-            stats = execute_spec(batch[i])
+            stats = execute_spec(batch[i], self._warm)
             self._complete(
                 batch, i, len(batch), stats, time.perf_counter() - t0,
                 results, hook,
             )
 
+    def _cost_order(self, batch, pending: Sequence[int]) -> list[int]:
+        """Pending indices, most expensive estimated cell first.
+
+        Ties keep submission order, so scheduling is deterministic for
+        a given batch; results are reassembled by index either way.
+        """
+        return sorted(pending, key=lambda i: (-estimate_cost(batch[i]), i))
+
     def _run_pooled(self, batch, pending, results, hook) -> None:
-        workers = min(self.max_workers, len(pending))
-        chunks = self._chunked(pending, workers)
-        _ensure_importable_by_workers()
+        order = self._cost_order(batch, pending)
+        if self.pool == "persistent":
+            self._run_persistent(batch, order, results, hook)
+        else:
+            self._run_per_run(batch, order, results, hook)
+
+    def _run_persistent(self, batch, order, results, hook) -> None:
+        """Dynamic scheduling on the long-lived shared worker pool."""
+        pool = self._get_pool()
+        pool.resize(self.max_workers)
+        futures = {
+            pool.submit(batch[i].to_dict(), cost=estimate_cost(batch[i])): i
+            for i in order
+        }
+        for fut in as_completed(futures):
+            payload = fut.result()  # worker errors surface here
+            i = futures[fut]
+            stats = MachineStats.from_dict(payload["stats"])
+            self._complete(
+                batch, i, len(batch), stats, payload["wall_time"],
+                results, hook,
+            )
+
+    def _run_per_run(self, batch, order, results, hook) -> None:
+        """One fresh ProcessPoolExecutor for this batch (cost-ordered)."""
+        workers = min(self.max_workers, len(order))
+        chunks = self._chunked(order)
+        ensure_importable_by_workers()
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=get_context("spawn")
         ) as pool:
@@ -282,13 +396,17 @@ class SweepEngine:
                             payload["wall_time"], results, hook,
                         )
 
-    def _chunked(self, pending: Sequence[int], workers: int) -> list[list[int]]:
-        """Split the miss list into contiguous submission chunks."""
-        size = self.chunk_size or max(
-            1, math.ceil(len(pending) / (workers * 4))
-        )
+    def _chunked(self, order: Sequence[int]) -> list[list[int]]:
+        """Group the cost-ordered miss list into submission tasks.
+
+        One task per spec by default, so the executor's FIFO queue
+        becomes the dynamic scheduler (idle workers pull the next
+        most-expensive cell); an explicit ``chunk_size`` groups
+        consecutive cells to amortize submission overhead.
+        """
+        size = self.chunk_size or 1
         return [
-            list(pending[i:i + size]) for i in range(0, len(pending), size)
+            list(order[i:i + size]) for i in range(0, len(order), size)
         ]
 
     def _complete(self, batch, i, total, stats, wall_time, results,

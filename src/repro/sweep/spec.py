@@ -264,14 +264,21 @@ class RunSpec:
 
         Computed over the canonical JSON of :meth:`to_dict` plus
         :data:`SPEC_SCHEMA_VERSION`; unlike :func:`hash`, identical in
-        every process and for every dict key order.
+        every process and for every dict key order.  Memoized on the
+        instance (safe: the dataclass is frozen), since the engine and
+        the cache address every cell by key several times per run.
         """
+        memo = self.__dict__.get("_key")
+        if memo is not None:
+            return memo
         payload = json.dumps(
             {"schema": SPEC_SCHEMA_VERSION, "spec": self.to_dict()},
             sort_keys=True,
             separators=(",", ":"),
         )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        object.__setattr__(self, "_key", digest)
+        return digest
 
     def label(self) -> str:
         """Short human-readable cell name for progress reporting."""

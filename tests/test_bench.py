@@ -180,6 +180,49 @@ class TestUnmatched:
         assert only_base == [cell_key(_cell(app="water"))]
 
 
+class TestSweepSuite:
+    def test_sweep_cell_schema_compatible(self, tmp_path):
+        from repro.bench import run_sweep_cell
+        from repro.sweep import RunSpec
+
+        specs = [RunSpec.for_run("water", protocol=p, n_procs=2, scale=0.2)
+                 for p in ("BASIC", "P")]
+        cell = run_sweep_cell("tiny", specs, repeat=1)
+        assert cell["backend"] == "sweep"
+        assert cell["events"] == len(specs)
+        assert cell["wall_s"] > 0
+        assert cell["events_per_sec"] == pytest.approx(
+            len(specs) / cell["wall_s"], rel=1e-3
+        )
+        assert cell["execution_time"] == 0
+
+    def test_sweep_identity_never_collides_with_simulator_cells(self):
+        from repro.sim.backend import BACKEND_NAMES
+
+        assert "sweep" not in BACKEND_NAMES
+        sim = _cell(backend="event")
+        swp = dict(sim, backend="sweep")
+        assert cell_key(sim) != cell_key(swp)
+
+    def test_warm_cell_measures_result_serving(self, tmp_path):
+        from repro.bench import run_sweep_cell
+        from repro.sweep import RunSpec
+
+        specs = [RunSpec.for_run("water", protocol=p, n_procs=2, scale=0.2)
+                 for p in ("BASIC", "P")]
+        cold = run_sweep_cell("cold", specs, repeat=1, cold=True)
+        warm = run_sweep_cell("warm", specs, repeat=1, cold=False,
+                              hot_entries=8)
+        assert warm["wall_s"] < cold["wall_s"]
+
+    def test_speedups_reports_matched_ratio(self):
+        from repro.bench import speedups
+
+        base = _doc([_cell(evps=100)])
+        cur = _doc([_cell(evps=250)])
+        assert speedups(cur, base) == [(cell_key(_cell()), 2.5)]
+
+
 class TestCli:
     def test_bench_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
@@ -188,6 +231,17 @@ class TestCli:
         assert args.threshold == 2.0
         assert args.out is None and args.check is None
         assert args.backend is None
+        assert args.suite == "cells"
+        assert args.pool == "persistent"
+
+    def test_sweep_suite_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--suite", "sweep", "--pool", "per-run",
+             "--hot-cache-entries", "0"]
+        )
+        assert args.suite == "sweep"
+        assert args.pool == "per-run"
+        assert args.hot_cache_entries == 0
 
     def test_bench_parser_options(self):
         args = build_parser().parse_args(

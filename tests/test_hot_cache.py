@@ -1,0 +1,159 @@
+"""Tests for the result cache's hot tier and batched writes."""
+
+import pytest
+
+from repro.sweep import ResultCache, RunResult, RunSpec, execute_spec
+
+SPEC = RunSpec.for_run("water", scale=0.2, n_procs=4)
+
+#: one real simulation reused across distinct specs (the cache only
+#: addresses by spec key, so tier tests stay fast).
+_STATS = execute_spec(SPEC)
+
+
+def result_for_seed(seed: int) -> RunResult:
+    spec = RunSpec.for_run("water", scale=0.2, n_procs=4, seed=seed)
+    return RunResult(spec=spec, stats=_STATS, wall_time=0.5)
+
+
+class TestHotTier:
+    def test_repeat_get_is_a_hot_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, hot_entries=4)
+        cache.put(result_for_seed(1))
+        spec = result_for_seed(1).spec
+        first = cache.get(spec)
+        second = cache.get(spec)
+        assert first is not None and second is not None
+        assert first.stats == second.stats
+        assert cache.hot_hits >= 1
+        assert cache.hits == 2
+
+    def test_hot_hit_matches_disk_read_exactly(self, tmp_path):
+        writer = ResultCache(tmp_path, hot_entries=4)
+        writer.put(result_for_seed(1))
+        spec = result_for_seed(1).spec
+        hot = writer.get(spec)           # served from the hot tier
+        assert writer.hot_hits == 1
+        cold = ResultCache(tmp_path).get(spec)   # forced disk read
+        assert hot.stats == cold.stats
+        assert hot.wall_time == cold.wall_time
+        assert hot.from_cache and cold.from_cache
+
+    def test_disk_hits_promote_into_the_hot_tier(self, tmp_path):
+        ResultCache(tmp_path).put(result_for_seed(1))
+        cache = ResultCache(tmp_path, hot_entries=4)
+        spec = result_for_seed(1).spec
+        cache.get(spec)
+        assert cache.hot_misses == 1 and cache.hot_hits == 0
+        cache.get(spec)
+        assert cache.hot_hits == 1
+
+    def test_lru_bound_holds(self, tmp_path):
+        cache = ResultCache(tmp_path, hot_entries=2)
+        for seed in (1, 2, 3):
+            cache.put(result_for_seed(seed))
+        assert cache.stats()["hot"]["entries"] == 2
+        # seed 1 was evicted from the tier but survives on disk
+        assert cache.get(result_for_seed(1).spec) is not None
+
+    def test_disabled_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(result_for_seed(1))
+        cache.get(result_for_seed(1).spec)
+        assert cache.hot_hits == 0 and cache.hot_misses == 0
+        assert cache.stats()["hot"]["entries"] == 0
+
+    def test_stats_expose_the_tier(self, tmp_path):
+        cache = ResultCache(tmp_path, hot_entries=4)
+        cache.put(result_for_seed(1))
+        cache.get(result_for_seed(1).spec)
+        hot = cache.stats()["hot"]
+        assert hot["max_entries"] == 4
+        assert hot["entries"] == 1
+        assert hot["hits"] == 1
+        assert hot["bytes"] > 0  # size learned from the write
+
+    def test_clear_drops_the_tier(self, tmp_path):
+        cache = ResultCache(tmp_path, hot_entries=4)
+        cache.put(result_for_seed(1))
+        cache.clear()
+        assert cache.stats()["hot"]["entries"] == 0
+        assert cache.get(result_for_seed(1).spec) is None
+
+
+class TestBatchedWrites:
+    def test_writes_deferred_until_flush(self, tmp_path):
+        cache = ResultCache(tmp_path, write_batch=8)
+        cache.put(result_for_seed(1))
+        assert len(list(tmp_path.glob("*/*.json"))) == 0
+        assert cache.flush() == 1
+        assert len(list(tmp_path.glob("*/*.json"))) == 1
+        assert cache.flush() == 0
+
+    def test_buffer_full_triggers_flush(self, tmp_path):
+        cache = ResultCache(tmp_path, write_batch=2)
+        cache.put(result_for_seed(1))
+        cache.put(result_for_seed(2))
+        assert len(list(tmp_path.glob("*/*.json"))) == 2
+        assert cache.stats()["writes"]["pending"] == 0
+
+    def test_repeat_puts_coalesce(self, tmp_path):
+        cache = ResultCache(tmp_path, write_batch=8)
+        cache.put(result_for_seed(1))
+        cache.put(result_for_seed(1))
+        assert cache.coalesced_writes == 1
+        assert cache.flush() == 1
+
+    def test_pending_entries_are_readable(self, tmp_path):
+        cache = ResultCache(tmp_path, write_batch=8)
+        cache.put(result_for_seed(1))
+        spec = result_for_seed(1).spec
+        got = cache.get(spec)
+        assert got is not None and got.stats == _STATS
+        envelope = cache.get_by_key(spec.key())
+        assert envelope is not None
+        assert envelope["spec_key"] == spec.key()
+
+    def test_flushed_bytes_identical_to_write_through(self, tmp_path):
+        batched_root = tmp_path / "batched"
+        direct_root = tmp_path / "direct"
+        batched = ResultCache(batched_root, write_batch=8)
+        direct = ResultCache(direct_root)
+        batched.put(result_for_seed(1))
+        direct.put(result_for_seed(1))
+        batched.flush()
+        spec = result_for_seed(1).spec
+        a = batched.path_for(spec).read_bytes()
+        b = direct.path_for(spec).read_bytes()
+        assert a == b
+
+    def test_write_through_is_the_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(result_for_seed(1))
+        assert len(list(tmp_path.glob("*/*.json"))) == 1
+
+
+class TestEngineIntegration:
+    def test_run_flushes_batched_writes(self, tmp_path):
+        from repro.sweep import SweepEngine
+
+        cache = ResultCache(tmp_path, hot_entries=8, write_batch=64)
+        engine = SweepEngine(cache=cache)
+        specs = [RunSpec.for_run("water", protocol=p, scale=0.2, n_procs=2)
+                 for p in ("BASIC", "P")]
+        engine.run(specs)
+        # run() flushed despite the 64-way batch
+        assert len(list(tmp_path.glob("*/*.json"))) == 2
+        engine.run(specs)
+        digest = engine.last_run_stats()
+        assert digest["cache"] == 2
+        assert digest["hot_hits"] == 2
+
+    def test_service_stats_carry_hot_counters(self, tmp_path):
+        pytest.importorskip("repro.service")
+        from repro.service import create_service
+
+        with create_service(cache_dir=str(tmp_path), jobs=1) as service:
+            payload = service.cache_stats_payload()
+            assert payload["cache"]["hot"]["max_entries"] == 512
+            assert payload["cache"]["writes"]["batch"] == 32

@@ -167,11 +167,11 @@ class TestCrossClientDedup:
         lock = threading.Lock()
         real = engine_mod.execute_spec
 
-        def counting(spec):
+        def counting(spec, warm=None):
             with lock:
                 calls.append(spec.key())
             time.sleep(0.2)
-            return real(spec)
+            return real(spec, warm)
 
         engine = SweepEngine(cache=ResultCache(tmp_path / "cache"))
         with ReproService(engine) as svc, _patched(engine_mod, counting):

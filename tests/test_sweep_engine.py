@@ -124,11 +124,11 @@ class TestInFlightDedup:
         lock = threading.Lock()
         real = engine_mod.execute_spec
 
-        def counting(spec):
+        def counting(spec, warm=None):
             with lock:
                 calls.append(spec.key())
             time.sleep(delay)
-            return real(spec)
+            return real(spec, warm)
 
         monkeypatch.setattr(engine_mod, "execute_spec", counting)
         return calls
